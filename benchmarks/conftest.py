@@ -1,0 +1,65 @@
+"""Shared benchmark fixtures and result capture.
+
+Each benchmark regenerates one of the paper's tables or figures and saves
+the rendered rows/series under ``benchmarks/results/`` so the artifact
+survives pytest's output capture.  Scaled-down parameters keep a full
+``pytest benchmarks/ --benchmark-only`` run in the minutes range; the
+paper-scale runs recorded in EXPERIMENTS.md use the CLI (``enki-repro``)
+with default parameters.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Writer that persists a rendered experiment table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, rendered: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(rendered + "\n")
+        print(f"\n[{name}]\n{rendered}")
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def study():
+    """One shared user-study run for the Tables II-IV / Figures 8-9 benches."""
+    from repro.experiments.user_study_run import run_default_study
+
+    return run_default_study(seed=1720)
+
+
+@pytest.fixture(scope="session")
+def welfare_small():
+    """One shared scaled social-welfare run for figs 4-6 extraction benches."""
+    from repro.experiments.social_welfare import run_social_welfare_study
+
+    return run_social_welfare_study(
+        populations=(10, 20, 30), days=3, seed=2017, optimal_time_limit_s=10.0
+    )
+
+
+def day_problem(n_households: int, seed: int = 2017):
+    """A representative §VI day instance for solver benchmarks."""
+    from repro.allocation.base import AllocationProblem
+    from repro.core.mechanism import truthful_reports
+    from repro.pricing.quadratic import QuadraticPricing
+    from repro.sim.profiles import ProfileGenerator, neighborhood_from_profiles
+
+    generator = ProfileGenerator()
+    profiles = generator.sample_population(
+        np.random.default_rng(seed), n_households
+    )
+    neighborhood = neighborhood_from_profiles(profiles, "wide")
+    return AllocationProblem.from_reports(
+        truthful_reports(neighborhood), neighborhood.households, QuadraticPricing()
+    )

@@ -1,0 +1,88 @@
+"""Ablation benches: ordering, xi sweep, pricing model, VCG contrast.
+
+Expected shapes:
+
+* ordering — the paper's ascending-flexibility order beats random
+  placement; greedy placement in any order beats uniform random;
+* xi — center surplus grows linearly in xi, household utility falls;
+* pricing — the strictly convex quadratic flattens at least as well as
+  the merely convex two-step price;
+* VCG — Enki is always budget balanced and orders of magnitude faster
+  than the n+1 exact solves VCG needs.
+"""
+
+from repro.experiments import (
+    ablation_ordering,
+    ablation_pricing,
+    ablation_xi,
+    examples_section4,
+    vcg_contrast,
+)
+
+
+def test_bench_ordering(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: ablation_ordering.run(populations=(10, 20), days=3, seed=2017),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.mean_cost("enki-greedy") <= result.mean_cost("random") + 1e-9
+    assert result.mean_cost("order-random") <= result.mean_cost("random") + 1e-9
+    save_result("ablation_ordering", result.render())
+
+
+def test_bench_xi(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: ablation_xi.run(
+            xis=(1.0, 1.1, 1.2, 1.5, 2.0), n_households=20, days=3, seed=2017
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    surpluses = [p.center_surplus for p in result.points]
+    assert surpluses == sorted(surpluses)
+    utilities = [p.mean_utility for p in result.points]
+    assert utilities == sorted(utilities, reverse=True)
+    save_result("ablation_xi", result.render())
+
+
+def test_bench_pricing(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: ablation_pricing.run(populations=(10, 20), days=3, seed=2017),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("ablation_pricing", result.render())
+
+
+def test_bench_vcg_contrast(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: vcg_contrast.run(n_households=10, days=3, seed=2017),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.enki_always_balanced
+    assert result.mean_slowdown > 1.0
+    save_result("vcg_contrast", result.render())
+
+
+def test_bench_baseline_landscape(benchmark, save_result):
+    from repro.experiments import baseline_landscape
+
+    result = benchmark.pedantic(
+        lambda: baseline_landscape.run(n_households=20, days=6, seed=2017),
+        rounds=1,
+        iterations=1,
+    )
+    enki = result.row("enki")
+    dlc = result.row("dlc")
+    base = result.row("no-control")
+    assert enki.unserved_fraction == 0.0
+    assert dlc.unserved_fraction > 0.0
+    assert enki.mean_peak_kw <= base.mean_peak_kw + 1e-9
+    save_result("baseline_landscape", result.render())
+
+
+def test_bench_section4_examples(benchmark, save_result):
+    result = benchmark(lambda: examples_section4.run(seed=7))
+    save_result("examples_section4", result.render())

@@ -1,0 +1,75 @@
+"""Micro-benchmarks for the mechanism's core primitives.
+
+Not tied to one paper artifact; these track the cost of the operations
+every experiment is built from (settlement, scoring, greedy allocation),
+so regressions in the hot paths show up even when the figure-level
+benches drown them in workload generation.
+"""
+
+import random
+
+import numpy as np
+
+from repro.core.defection import defection_scores
+from repro.core.flexibility import predicted_flexibility
+from repro.core.mechanism import EnkiMechanism, truthful_reports
+from repro.pricing.load_profile import LoadProfile
+from repro.pricing.quadratic import QuadraticPricing
+from repro.sim.profiles import ProfileGenerator, neighborhood_from_profiles
+
+from conftest import day_problem
+
+
+def _world(n=50, seed=3):
+    generator = ProfileGenerator()
+    profiles = generator.sample_population(np.random.default_rng(seed), n)
+    return neighborhood_from_profiles(profiles, "wide")
+
+
+def test_bench_predicted_flexibility(benchmark):
+    neighborhood = _world()
+    reports = truthful_reports(neighborhood)
+    preferences = {hid: r.preference for hid, r in reports.items()}
+    scores = benchmark(lambda: predicted_flexibility(preferences))
+    assert len(scores) == 50
+
+
+def test_bench_settlement(benchmark):
+    neighborhood = _world()
+    mechanism = EnkiMechanism(seed=0)
+    reports = truthful_reports(neighborhood)
+    allocation = mechanism.allocate(neighborhood, reports).allocation
+    settlement = benchmark(
+        lambda: mechanism.settle(neighborhood, reports, allocation, dict(allocation))
+    )
+    assert settlement.total_cost > 0
+
+
+def test_bench_defection_scores(benchmark):
+    neighborhood = _world()
+    mechanism = EnkiMechanism(seed=0)
+    reports = truthful_reports(neighborhood)
+    allocation = mechanism.allocate(neighborhood, reports).allocation
+    pricing = QuadraticPricing()
+    scores = benchmark(
+        lambda: defection_scores(
+            allocation, dict(allocation), neighborhood.households, pricing
+        )
+    )
+    assert all(value == 0.0 for value in scores.values())
+
+
+def test_bench_quadratic_cost(benchmark):
+    pricing = QuadraticPricing()
+    profile = LoadProfile(np.random.default_rng(0).uniform(0, 30, 24))
+    cost = benchmark(lambda: pricing.cost(profile))
+    assert cost > 0
+
+
+def test_bench_greedy_n50(benchmark):
+    from repro.allocation.greedy import GreedyFlexibilityAllocator
+
+    problem = day_problem(50)
+    allocator = GreedyFlexibilityAllocator()
+    result = benchmark(lambda: allocator.solve(problem, random.Random(0)))
+    assert problem.is_feasible(result.allocation)

@@ -1,0 +1,120 @@
+"""Extension benches: decentralized dynamics, coalitions, multi-appliance.
+
+Expected shapes: best-response dynamics converge in a few rounds and land
+within a few percent of the greedy's cost; coalition pre-commitment drops
+flexibility scores; multi-appliance days stay budget balanced.
+"""
+
+import random
+
+from repro.core.mechanism import EnkiMechanism
+from repro.core.types import Preference
+from repro.experiments import ablation_decentralized, ext_coalitions
+from repro.extensions.appliances import (
+    ApplianceRequest,
+    MultiApplianceEnki,
+    MultiApplianceHousehold,
+)
+
+
+def test_bench_decentralized(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: ablation_decentralized.run(
+            populations=(10, 20, 30), days=3, seed=2017
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    for point in result.points:
+        assert point.converged_fraction == 1.0
+        assert point.relative_excess < 0.15
+    save_result("ablation_decentralized", result.render())
+
+
+def test_bench_coalitions(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: ext_coalitions.run(
+            sizes=(2, 3), n_households=20, days=3, seed=2017
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("ext_coalitions", result.render())
+
+
+def test_bench_forecast_market(benchmark, save_result):
+    from repro.experiments import ext_forecast_market
+
+    result = benchmark.pedantic(
+        lambda: ext_forecast_market.run(n_households=10, days=10, seed=2017),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.row("oracle").imbalance_cost == 0.0
+    save_result("ext_forecast_market", result.render())
+
+
+def test_bench_conservation(benchmark, save_result):
+    from repro.experiments import ext_conservation
+
+    result = benchmark.pedantic(
+        lambda: ext_conservation.run(
+            xis=(1.0, 1.5, 2.0), n_households=15, days=3, seed=2017
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    served = [p.mean_served_energy_kwh for p in result.points]
+    assert served == sorted(served, reverse=True)
+    save_result("ext_conservation", result.render())
+
+
+def test_bench_scale_sweep(benchmark, save_result):
+    from repro.experiments import abl_scale
+
+    result = benchmark.pedantic(
+        lambda: abl_scale.run(populations=(100, 250, 500, 1000), seed=2017),
+        rounds=1,
+        iterations=1,
+    )
+    assert all(p.par < 10.0 for p in result.points)
+    save_result("abl_scale", result.render())
+
+
+def test_bench_verify_properties(benchmark, save_result):
+    from repro.experiments import verify_properties
+
+    result = benchmark.pedantic(
+        lambda: verify_properties.run(n_households=15, seed=2017),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.all_passed
+    save_result("verify_properties", result.render())
+
+
+def test_bench_calculator_effect(benchmark, save_result):
+    from repro.experiments import ext_calculator
+
+    result = benchmark.pedantic(
+        lambda: ext_calculator.run(seed=2017), rounds=1, iterations=1
+    )
+    assert result.overall_reduction > -0.05
+    save_result("ext_calculator", result.render())
+
+
+def test_bench_multi_appliance_day(benchmark):
+    rng = random.Random(4)
+    homes = [
+        MultiApplianceHousehold.of(
+            f"home{i}",
+            rng.uniform(3.0, 9.0),
+            ApplianceRequest("ev", Preference.of(17 + i % 3, 24, 3), rating_kw=7.2),
+            ApplianceRequest("wash", Preference.of(8, 20, 1), rating_kw=2.0),
+            base_charge=1.5,
+        )
+        for i in range(15)
+    ]
+    mechanism = MultiApplianceEnki(EnkiMechanism(seed=0))
+    outcome = benchmark(lambda: mechanism.run_day(homes))
+    assert len(outcome.bills) == 15

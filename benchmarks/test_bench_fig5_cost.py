@@ -1,0 +1,32 @@
+"""Figure 5 bench: neighborhood cost, Enki vs Optimal.
+
+Expected shape: Enki's cost sits within a few percent of Optimal's at
+every population size (the paper's "approximately the same performance").
+"""
+
+from repro.core.mechanism import EnkiMechanism
+from repro.sim.profiles import ProfileGenerator, neighborhood_from_profiles
+
+import numpy as np
+
+
+def test_fig5_enki_full_day_settlement(benchmark):
+    """Time a complete Enki day (allocation + settlement) at n=30."""
+    generator = ProfileGenerator()
+    profiles = generator.sample_population(np.random.default_rng(5), 30)
+    neighborhood = neighborhood_from_profiles(profiles, "wide")
+    mechanism = EnkiMechanism(seed=0)
+    outcome = benchmark(lambda: mechanism.run_day(neighborhood))
+    assert outcome.settlement.total_cost > 0
+
+
+def test_fig5_series(benchmark, welfare_small, save_result):
+    from repro.experiments import fig5_cost
+
+    result = benchmark(lambda: fig5_cost.extract(welfare_small))
+    for row in result.rows:
+        # Greedy can never beat the exact optimum...
+        assert row.enki_cost >= row.optimal_cost - 1e-6
+        # ...and should stay within ~10% of it on §VI workloads.
+        assert row.relative_excess < 0.10
+    save_result("fig5_cost", result.render())

@@ -1,0 +1,44 @@
+"""Figure 6 bench: scheduling time, Enki greedy vs the exact solver.
+
+This is the paper's headline tractability figure, regenerated directly as
+benchmark timings: the same day instance is solved by both allocators at
+each population size.  Expect the greedy to stay in the millisecond range
+while the exact solver's time grows by orders of magnitude (the paper
+reports ~600x at 40+ households).
+"""
+
+import random
+
+import pytest
+
+from repro.allocation.greedy import GreedyFlexibilityAllocator
+from repro.allocation.optimal import BranchAndBoundAllocator
+
+from conftest import day_problem
+
+POPULATIONS = (10, 20, 30, 40, 50)
+
+
+@pytest.mark.parametrize("n", POPULATIONS)
+def test_fig6_enki_greedy_time(benchmark, n):
+    problem = day_problem(n)
+    allocator = GreedyFlexibilityAllocator()
+    result = benchmark(lambda: allocator.solve(problem, random.Random(0)))
+    assert problem.is_feasible(result.allocation)
+
+
+@pytest.mark.parametrize("n", POPULATIONS)
+def test_fig6_optimal_time(benchmark, n):
+    problem = day_problem(n)
+    allocator = BranchAndBoundAllocator(time_limit_s=15.0, seed=0)
+    result = benchmark.pedantic(
+        lambda: allocator.solve(problem, random.Random(0)), rounds=1, iterations=1
+    )
+    assert problem.is_feasible(result.allocation)
+
+
+def test_fig6_series(benchmark, welfare_small, save_result):
+    from repro.experiments import fig6_time
+
+    result = benchmark(lambda: fig6_time.extract(welfare_small))
+    save_result("fig6_time", result.render())

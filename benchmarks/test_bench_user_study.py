@@ -1,0 +1,56 @@
+"""Tables II-IV and Figures 8-9 benches: the Section VII user study.
+
+One study run feeds all five artifacts; the timing benchmark measures the
+full 20-subject, 8-session study.  Expected shapes: defection is rare
+overall and rarest in Cooperate (Table II), significantly rarer than
+chance (Table III), T2 subjects defect least by the end (Table IV),
+true-interval selection rises Initial -> Cooperate (Figure 8), and
+well-understanding subjects lock to full flexibility (Figure 9).
+"""
+
+from repro.experiments import (
+    fig8_true_interval,
+    fig9_flexibility,
+    table2_defection,
+    table3_mannwhitney,
+    table4_treatments,
+)
+from repro.experiments.user_study_run import run_default_study
+
+
+def test_bench_full_study(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_default_study(seed=2), rounds=1, iterations=1
+    )
+    assert len(result.subjects) == 20
+
+
+def test_table2_rows(benchmark, study, save_result):
+    result = benchmark(lambda: table2_defection.extract(study))
+    assert result.rates["Overall"] < 0.5
+    assert result.rates["Initial"] > result.rates["Cooperate"]
+    save_result("table2_defection", result.render())
+
+
+def test_table3_rows(benchmark, study, save_result):
+    result = benchmark(lambda: table3_mannwhitney.extract(study))
+    assert result.significant("Overall")
+    assert result.significant("Cooperate")
+    save_result("table3_mannwhitney", result.render())
+
+
+def test_table4_rows(benchmark, study, save_result):
+    result = benchmark(lambda: table4_treatments.extract(study))
+    save_result("table4_treatments", result.render())
+
+
+def test_fig8_rows(benchmark, study, save_result):
+    result = benchmark(lambda: fig8_true_interval.extract(study))
+    assert result.ratio_increased
+    save_result("fig8_true_interval", result.render())
+
+
+def test_fig9_rows(benchmark, study, save_result):
+    result = benchmark(lambda: fig9_flexibility.extract(study))
+    assert result.good_lock_in
+    save_result("fig9_flexibility", result.render())

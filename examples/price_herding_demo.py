@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Watch price-based control herd the peak around the evening.
+
+Section II's critique of real-time pricing, animated in the terminal: a
+neighborhood of flexible households chases yesterday's cheapest hours day
+after day, so the peak never flattens — it migrates.  The same households
+under Enki settle into a flat schedule on day one.
+
+Run:
+    python examples/price_herding_demo.py
+"""
+
+import random
+
+from repro.core.mechanism import EnkiMechanism
+from repro.core.types import HouseholdType, Neighborhood, Preference
+from repro.mechanisms.rtp import RealTimePricingControl
+from repro.pricing.load_profile import LoadProfile
+from repro.reporting.ascii import series_table, sparkline
+
+DAYS = 7
+EVENING = range(14, 24)
+
+
+def build_neighborhood(n: int = 16) -> Neighborhood:
+    rng = random.Random(5)
+    households = []
+    for index in range(n):
+        duration = rng.choice([1, 2, 3])
+        households.append(
+            HouseholdType(
+                f"hh{index:02d}",
+                Preference.of(14, 24, duration),
+                valuation_factor=rng.uniform(3.0, 9.0),
+            )
+        )
+    return Neighborhood.of(*households)
+
+
+def main() -> None:
+    neighborhood = build_neighborhood()
+
+    rtp = RealTimePricingControl()
+    rtp.reset()
+    print("Real-time pricing: evening load (hours 14-23), day by day")
+    rtp_peaks = []
+    for day in range(DAYS):
+        result = rtp.run_day(neighborhood, rng=random.Random(day))
+        profile = LoadProfile.from_schedule(
+            result.consumption, neighborhood.households
+        )
+        evening = [profile[h] for h in EVENING]
+        details = rtp.last_details
+        rtp_peaks.append(details.peak_kw)
+        print(
+            f"  day {day}: {sparkline(evening)}  "
+            f"peak {details.peak_kw:.0f} kW at {details.peak_hour:02d}:00, "
+            f"PAR {profile.peak_to_average_ratio():.2f}"
+        )
+
+    enki = EnkiMechanism(seed=0)
+    enki_peaks = []
+    enki_series = []
+    for day in range(DAYS):
+        outcome = enki.run_day(neighborhood, rng=random.Random(day))
+        profile = outcome.settlement.load_profile
+        enki_peaks.append(profile.peak_kw)
+        enki_series.append([profile[h] for h in EVENING])
+
+    print("\nEnki, same households: flat from day one")
+    for day, evening in enumerate(enki_series):
+        print(
+            f"  day {day}: {sparkline(evening)}  peak {enki_peaks[day]:.0f} kW"
+        )
+
+    print()
+    print(
+        series_table(
+            "daily peaks (kW)",
+            [rtp_peaks, enki_peaks],
+            ["rtp ", "enki"],
+        )
+    )
+    print(
+        f"\nMean peak: RTP {sum(rtp_peaks)/DAYS:.1f} kW vs "
+        f"Enki {sum(enki_peaks)/DAYS:.1f} kW — the price signal shifts the "
+        "peak, the mechanism removes it."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Multi-appliance smart homes: the paper's "variety of appliances" note.
+
+Builds a neighborhood of homes from realistic appliance archetypes (EV
+charger, dishwasher, washer, dryer, pool pump, water heater), runs one
+Enki day at the appliance level, and prints each home's itemized bill —
+the Section III extension ("several such preferences for a given
+household and adding a constant cost to each household's payment") made
+concrete.
+
+Run:
+    python examples/smart_home_fleet.py
+"""
+
+import numpy as np
+
+from repro.core.mechanism import EnkiMechanism
+from repro.extensions.appliances import MultiApplianceEnki
+from repro.sim.appliance_models import (
+    build_multi_appliance_population,
+    population_statistics,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    homes = build_multi_appliance_population(rng, n_households=12, base_charge=1.0)
+
+    stats = population_statistics(homes)
+    print(
+        f"{int(stats['households'])} homes, {int(stats['appliances'])} shiftable "
+        f"appliances ({stats['appliances_per_household']:.1f} per home):"
+    )
+    for key, value in sorted(stats.items()):
+        if key.startswith("count_"):
+            print(f"  {key[6:]:<13} {int(value)} homes")
+
+    outcome = MultiApplianceEnki(EnkiMechanism(seed=3)).run_day(homes)
+    profile = outcome.day.settlement.load_profile
+    print(
+        f"\nEnki schedule: peak {profile.peak_kw:.1f} kW, "
+        f"PAR {profile.peak_to_average_ratio():.2f}, "
+        f"procurement cost ${outcome.total_cost:.0f}"
+    )
+
+    print("\nItemized bills (base charge $1.00 covers nonshiftable loads):")
+    for home in homes:
+        bill = outcome.bills[home.household_id]
+        items = ", ".join(
+            f"{name} ${payment:.2f}"
+            for name, payment in sorted(bill.per_appliance_payment.items())
+        )
+        print(
+            f"  {home.household_id:<8} total ${bill.payment:6.2f}  "
+            f"(base $1.00 + {items})"
+        )
+
+    total_billed = sum(bill.payment for bill in outcome.bills.values())
+    base_total = sum(home.base_charge for home in homes)
+    print(
+        f"\nRevenue check: ${total_billed:.2f} billed = "
+        f"1.2 x ${outcome.total_cost:.2f} procurement + ${base_total:.2f} base "
+        "(Theorem 1 budget balance at the appliance level)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Paper-scale run of every experiment; writes rendered tables to results/."""
+import pathlib
+import sys
+import time
+
+from repro.experiments import (
+    ablation_ordering, ablation_pricing, ablation_xi, examples_section4,
+    fig4_par, fig5_cost, fig6_time, fig7_incentive, fig8_true_interval,
+    fig9_flexibility, table2_defection, table3_mannwhitney, table4_treatments,
+    vcg_contrast,
+)
+from repro.experiments.social_welfare import run_social_welfare_study
+from repro.experiments.user_study_run import run_default_study
+
+OUT = pathlib.Path(__file__).parent
+def save(name, rendered):
+    (OUT / f"{name}.txt").write_text(rendered + "\n")
+    print(f"== {name} ==\n{rendered}\n", flush=True)
+
+t0 = time.time()
+print("social welfare sweep (figs 4-6), 10 days x {10..50}, 30s limit", flush=True)
+welfare = run_social_welfare_study(populations=(10, 20, 30, 40, 50), days=10,
+                                   seed=2017, optimal_time_limit_s=30.0)
+save("fig4_par", fig4_par.extract(welfare).render())
+save("fig5_cost", fig5_cost.extract(welfare).render())
+save("fig6_time", fig6_time.extract(welfare).render())
+print(f"welfare done in {time.time()-t0:.0f}s", flush=True)
+
+save("fig7_incentive", fig7_incentive.run(n_households=50, repeats=10, seed=2017).render())
+print(f"fig7 done {time.time()-t0:.0f}s", flush=True)
+
+study = run_default_study(seed=1720)
+save("table2_defection", table2_defection.extract(study).render())
+save("table3_mannwhitney", table3_mannwhitney.extract(study).render())
+save("table4_treatments", table4_treatments.extract(study).render())
+save("fig8_true_interval", fig8_true_interval.extract(study).render())
+save("fig9_flexibility", fig9_flexibility.extract(study).render())
+print(f"user study done {time.time()-t0:.0f}s", flush=True)
+
+save("examples_section4", examples_section4.run(seed=7).render())
+save("ablation_ordering", ablation_ordering.run(populations=(10, 20, 30, 40, 50), days=5, seed=2017).render())
+save("ablation_xi", ablation_xi.run(n_households=30, days=5, seed=2017).render())
+save("ablation_pricing", ablation_pricing.run(populations=(10, 20, 30), days=5, seed=2017).render())
+save("vcg_contrast", vcg_contrast.run(n_households=12, days=5, seed=2017).render())
+print(f"ALL DONE in {time.time()-t0:.0f}s", flush=True)

@@ -1,0 +1,74 @@
+"""Reproduction of "A Mechanism for Cooperative Demand-Side Management".
+
+This package implements Enki (ICDCS 2017): a tractable, budget-balanced
+demand-side-management mechanism for day-ahead residential power scheduling,
+together with every substrate the paper's evaluation needs — allocation
+solvers (greedy and exact), pricing models, household/ECC agents, baseline
+mechanisms (VCG, proportional price-taking), the Section VI simulation
+study, and the Section VII user-study game.
+
+Quickstart::
+
+    from repro import (
+        EnkiMechanism, Neighborhood, HouseholdType, Preference,
+    )
+
+    hh = [
+        HouseholdType("A", Preference.of(16, 18, 2), valuation_factor=5.0),
+        HouseholdType("B", Preference.of(18, 21, 2), valuation_factor=5.0),
+        HouseholdType("C", Preference.of(18, 21, 2), valuation_factor=5.0),
+    ]
+    outcome = EnkiMechanism().run_day(Neighborhood.of(*hh))
+    print(outcome.allocation, outcome.settlement.payments)
+"""
+
+from .allocation import (
+    AllocationItem,
+    AllocationProblem,
+    AllocationResult,
+    Allocator,
+    BranchAndBoundAllocator,
+    ExhaustiveAllocator,
+    GreedyFlexibilityAllocator,
+    LocalSearchAllocator,
+    RandomAllocator,
+)
+from .core import (
+    DayOutcome,
+    EnkiMechanism,
+    HouseholdType,
+    Interval,
+    Neighborhood,
+    Preference,
+    Report,
+    Settlement,
+    truthful_reports,
+)
+from .pricing import LoadProfile, QuadraticPricing, TwoStepPricing
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Interval",
+    "Preference",
+    "HouseholdType",
+    "Neighborhood",
+    "Report",
+    "EnkiMechanism",
+    "Settlement",
+    "DayOutcome",
+    "truthful_reports",
+    "Allocator",
+    "AllocationItem",
+    "AllocationProblem",
+    "AllocationResult",
+    "GreedyFlexibilityAllocator",
+    "BranchAndBoundAllocator",
+    "ExhaustiveAllocator",
+    "LocalSearchAllocator",
+    "RandomAllocator",
+    "LoadProfile",
+    "QuadraticPricing",
+    "TwoStepPricing",
+]

@@ -1,0 +1,37 @@
+"""Agent substrate: households, behaviours, ECC units and the center."""
+
+from .behavior import (
+    Behavior,
+    FixedReportBehavior,
+    MisreportBehavior,
+    NarrowingBehavior,
+    StubbornBehavior,
+    TruthfulBehavior,
+)
+from .ecc import EccBehavior, EccUnit
+from .forecasting import (
+    EwmaForecaster,
+    Forecaster,
+    HistogramForecaster,
+    backtest_accuracy,
+)
+from .household import HouseholdAgent, HouseholdDayLog
+from .neighborhood import NeighborhoodController
+
+__all__ = [
+    "Behavior",
+    "TruthfulBehavior",
+    "MisreportBehavior",
+    "NarrowingBehavior",
+    "FixedReportBehavior",
+    "StubbornBehavior",
+    "EccUnit",
+    "EccBehavior",
+    "Forecaster",
+    "HistogramForecaster",
+    "EwmaForecaster",
+    "backtest_accuracy",
+    "HouseholdAgent",
+    "HouseholdDayLog",
+    "NeighborhoodController",
+]

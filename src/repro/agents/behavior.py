@@ -1,0 +1,145 @@
+"""Household behaviour strategies: how agents report and consume.
+
+The paper's analysis distinguishes truthful households (report the true
+window, follow the allocation) from misreporting defectors (report a
+shifted or widened window, then consume within the true window anyway).
+These strategies plug into :class:`repro.agents.household.HouseholdAgent`
+and the simulation engine.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Optional
+
+from ..core.intervals import HOURS_PER_DAY, Interval
+from ..core.mechanism import closest_feasible_consumption
+from ..core.types import HouseholdType, Preference, Report
+
+
+class Behavior(abc.ABC):
+    """How a household decides its report and its consumption."""
+
+    @abc.abstractmethod
+    def report(
+        self, day: int, household: HouseholdType, rng: random.Random
+    ) -> Report:
+        """The preference the household declares for the next day."""
+
+    def consume(
+        self,
+        day: int,
+        household: HouseholdType,
+        report: Report,
+        allocation: Interval,
+        rng: random.Random,
+    ) -> Interval:
+        """The interval the household actually uses.
+
+        Default: follow the allocation when it fits the true window,
+        otherwise defect to the closest feasible placement.
+        """
+        true = household.true_preference
+        return closest_feasible_consumption(true.window, true.duration, allocation)
+
+
+class TruthfulBehavior(Behavior):
+    """Report the true preference; the allocation then always fits it."""
+
+    def report(self, day: int, household: HouseholdType, rng: random.Random) -> Report:
+        return Report(household.household_id, household.true_preference)
+
+
+class MisreportBehavior(Behavior):
+    """Report a distorted window, then defect back to the true preference.
+
+    This is the Theorem 2 deviation: e.g. true window (18, 20) reported as
+    (14, 20).  The allocation may land outside the true window, in which
+    case the household overrides it (Section III allows defection only
+    within the true window).
+
+    Args:
+        shift: Hours to shift the reported window start (negative = earlier).
+        widen: Extra hours added to the reported window on each side.
+    """
+
+    def __init__(self, shift: int = 0, widen: int = 0) -> None:
+        if widen < 0:
+            raise ValueError(f"widen cannot be negative, got {widen}")
+        self.shift = shift
+        self.widen = widen
+
+    def report(self, day: int, household: HouseholdType, rng: random.Random) -> Report:
+        true = household.true_preference
+        start = true.window.start + self.shift - self.widen
+        end = true.window.end + self.shift + self.widen
+        start = max(0, min(start, HOURS_PER_DAY - true.duration))
+        end = max(start + true.duration, min(end, HOURS_PER_DAY))
+        return Report(
+            household.household_id, Preference(Interval(start, end), true.duration)
+        )
+
+
+class NarrowingBehavior(Behavior):
+    """Report only a slice of the true window (hiding flexibility).
+
+    The opposite prosocial failure from misreporting: the household tells
+    the truth but *less* of it, reporting a narrower admissible window.
+    Used to probe Property 1 (wider truthful windows pay less).
+    """
+
+    def __init__(self, keep_hours: Optional[int] = None) -> None:
+        if keep_hours is not None and keep_hours < 1:
+            raise ValueError(f"keep_hours must be >= 1, got {keep_hours}")
+        self.keep_hours = keep_hours
+
+    def report(self, day: int, household: HouseholdType, rng: random.Random) -> Report:
+        true = household.true_preference
+        keep = self.keep_hours if self.keep_hours is not None else true.duration
+        keep = max(true.duration, min(keep, true.window.length))
+        latest_start = true.window.end - keep
+        start = rng.randint(true.window.start, latest_start)
+        return Report(
+            household.household_id,
+            Preference(Interval(start, start + keep), true.duration),
+        )
+
+
+class FixedReportBehavior(Behavior):
+    """Always declare one specific preference (used by best-response sweeps)."""
+
+    def __init__(self, preference: Preference) -> None:
+        self.preference = preference
+
+    def report(self, day: int, household: HouseholdType, rng: random.Random) -> Report:
+        if self.preference.duration != household.true_preference.duration:
+            raise ValueError(
+                "fixed report must keep the household's true duration "
+                f"({household.true_preference.duration}h)"
+            )
+        return Report(household.household_id, self.preference)
+
+
+class StubbornBehavior(Behavior):
+    """Report truthfully but consume at the most-preferred start regardless.
+
+    Models a household that ignores its allocation: it always consumes at
+    its favourite placement (the start of its true window), defecting
+    whenever the allocation differs.  Used by failure-injection tests —
+    Property 3 says such a household must pay more.
+    """
+
+    def report(self, day: int, household: HouseholdType, rng: random.Random) -> Report:
+        return Report(household.household_id, household.true_preference)
+
+    def consume(
+        self,
+        day: int,
+        household: HouseholdType,
+        report: Report,
+        allocation: Interval,
+        rng: random.Random,
+    ) -> Interval:
+        true = household.true_preference
+        return Interval(true.window.start, true.window.start + true.duration)

@@ -1,0 +1,94 @@
+"""The Energy Consumption Controller (ECC) unit.
+
+Per Section I, an ECC unit embedded in the smart meter (1) learns the
+household's daily consumption pattern, (2) decides, and (3) reports the
+household's demand for the next day.  This module composes a
+:class:`~repro.agents.forecasting.Forecaster` with the reporting step and a
+cold-start fallback.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..core.intervals import Interval
+from ..core.types import HouseholdType, Preference, Report
+from .behavior import Behavior
+from .forecasting import Forecaster, HistogramForecaster
+
+
+class EccUnit:
+    """Learns a household's pattern and reports on its behalf.
+
+    Args:
+        household_id: Whose meter this is.
+        forecaster: The pattern learner (histogram learner by default).
+        fallback: Preference to report before any history exists (a new
+            installation); when omitted the ECC reports the household's
+            true preference until it has observations.
+    """
+
+    def __init__(
+        self,
+        household_id: str,
+        forecaster: Optional[Forecaster] = None,
+        fallback: Optional[Preference] = None,
+    ) -> None:
+        self.household_id = household_id
+        self.forecaster = forecaster if forecaster is not None else HistogramForecaster()
+        self.fallback = fallback
+
+    def observe(self, consumption: Interval) -> None:
+        """Ingest one day of realized consumption into the learner."""
+        self.forecaster.update(consumption.start, consumption.length)
+
+    def report(self, true_preference: Optional[Preference] = None) -> Report:
+        """Produce the next-day report: the learned window, or the fallback.
+
+        Args:
+            true_preference: Used as the cold-start report when no fallback
+                was configured and no history exists yet.
+        """
+        if self.forecaster.n_observations > 0:
+            return Report(self.household_id, self.forecaster.predict())
+        if self.fallback is not None:
+            return Report(self.household_id, self.fallback)
+        if true_preference is not None:
+            return Report(self.household_id, true_preference)
+        raise RuntimeError(
+            f"ECC for {self.household_id!r} has no history, fallback, or true preference"
+        )
+
+
+class EccBehavior(Behavior):
+    """A household behaviour driven by its ECC unit.
+
+    Reports come from the learned model; consumption follows the default
+    closest-feasible rule of :class:`~repro.agents.behavior.Behavior`.  The
+    simulation loop should call :meth:`observe` with each day's realized
+    consumption so the model keeps learning.
+    """
+
+    def __init__(self, ecc: EccUnit) -> None:
+        self.ecc = ecc
+
+    def report(self, day: int, household: HouseholdType, rng: random.Random) -> Report:
+        if household.household_id != self.ecc.household_id:
+            raise ValueError(
+                f"ECC belongs to {self.ecc.household_id!r}, not {household.household_id!r}"
+            )
+        report = self.ecc.report(true_preference=household.true_preference)
+        # The mechanism assumes durations are truthful; clamp the learned
+        # duration to the household's real one to stay inside the model.
+        if report.preference.duration != household.true_preference.duration:
+            duration = household.true_preference.duration
+            window = report.preference.window
+            if window.length < duration:
+                window = household.true_preference.window
+            report = Report(self.ecc.household_id, Preference(window, duration))
+        return report
+
+    def observe(self, consumption: Interval) -> None:
+        """Feed realized consumption back into the learner."""
+        self.ecc.observe(consumption)

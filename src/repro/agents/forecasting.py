@@ -1,0 +1,158 @@
+"""Consumption-pattern learning for the ECC unit.
+
+The paper's Energy Consumption Controller "learns each household's daily
+power consumption pattern through machine learning techniques" before
+deciding and reporting the next day's demand.  Two light-weight online
+learners are provided; both consume observed (start hour, duration) pairs
+and predict the next day's preference window.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import Counter
+from typing import List, Optional, Tuple
+
+from ..core.intervals import HOURS_PER_DAY, Interval
+from ..core.types import Preference
+
+
+class Forecaster(abc.ABC):
+    """Online model of one household's daily consumption pattern."""
+
+    @abc.abstractmethod
+    def update(self, start: int, duration: int) -> None:
+        """Ingest one observed day of consumption."""
+
+    @abc.abstractmethod
+    def predict(self) -> Preference:
+        """Predict the next day's preference window and duration.
+
+        Raises:
+            RuntimeError: Before any observation has been ingested.
+        """
+
+    @property
+    @abc.abstractmethod
+    def n_observations(self) -> int:
+        """How many days have been observed."""
+
+
+def _clamped_window(start: int, end: int, duration: int) -> Preference:
+    """Build a preference, clamping to the day and the duration fit."""
+    start = max(0, min(start, HOURS_PER_DAY - duration))
+    end = max(start + duration, min(end, HOURS_PER_DAY))
+    return Preference(Interval(start, end), duration)
+
+
+class HistogramForecaster(Forecaster):
+    """Frequency-based forecaster over start hours and durations.
+
+    Predicts the modal duration and a window spanning the observed start
+    hours between two quantiles, padded by ``margin`` hours on each side —
+    the margin is the household's declared flexibility.
+    """
+
+    def __init__(self, low_quantile: float = 0.1, high_quantile: float = 0.9,
+                 margin: int = 1) -> None:
+        if not 0 <= low_quantile <= high_quantile <= 1:
+            raise ValueError(
+                f"bad quantile range [{low_quantile}, {high_quantile}]"
+            )
+        if margin < 0:
+            raise ValueError(f"margin cannot be negative, got {margin}")
+        self.low_quantile = low_quantile
+        self.high_quantile = high_quantile
+        self.margin = margin
+        self._starts: List[int] = []
+        self._durations: Counter = Counter()
+
+    def update(self, start: int, duration: int) -> None:
+        if not 0 <= start < HOURS_PER_DAY:
+            raise ValueError(f"start hour {start} outside the day")
+        if duration < 1:
+            raise ValueError(f"duration must be >= 1, got {duration}")
+        self._starts.append(start)
+        self._durations[duration] += 1
+
+    @property
+    def n_observations(self) -> int:
+        return len(self._starts)
+
+    def predict(self) -> Preference:
+        if not self._starts:
+            raise RuntimeError("forecaster has no observations yet")
+        ordered = sorted(self._starts)
+        low_idx = int(self.low_quantile * (len(ordered) - 1))
+        high_idx = int(round(self.high_quantile * (len(ordered) - 1)))
+        duration = self._durations.most_common(1)[0][0]
+        window_start = ordered[low_idx] - self.margin
+        window_end = ordered[high_idx] + duration + self.margin
+        return _clamped_window(window_start, window_end, duration)
+
+
+class EwmaForecaster(Forecaster):
+    """Exponentially weighted moving average of start and duration.
+
+    Reacts faster to regime changes than the histogram learner; the window
+    is the EWMA start plus/minus a fixed half-width.
+    """
+
+    def __init__(self, alpha: float = 0.3, half_width: int = 2) -> None:
+        if not 0 < alpha <= 1:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        if half_width < 0:
+            raise ValueError(f"half width cannot be negative, got {half_width}")
+        self.alpha = alpha
+        self.half_width = half_width
+        self._start: Optional[float] = None
+        self._duration: Optional[float] = None
+        self._count = 0
+
+    def update(self, start: int, duration: int) -> None:
+        if not 0 <= start < HOURS_PER_DAY:
+            raise ValueError(f"start hour {start} outside the day")
+        if duration < 1:
+            raise ValueError(f"duration must be >= 1, got {duration}")
+        if self._start is None:
+            self._start = float(start)
+            self._duration = float(duration)
+        else:
+            self._start += self.alpha * (start - self._start)
+            self._duration += self.alpha * (duration - self._duration)
+        self._count += 1
+
+    @property
+    def n_observations(self) -> int:
+        return self._count
+
+    def predict(self) -> Preference:
+        if self._start is None or self._duration is None:
+            raise RuntimeError("forecaster has no observations yet")
+        duration = max(1, int(round(self._duration)))
+        center = int(round(self._start))
+        return _clamped_window(
+            center - self.half_width, center + duration + self.half_width, duration
+        )
+
+
+def backtest_accuracy(
+    forecaster: Forecaster, history: List[Tuple[int, int]]
+) -> float:
+    """Fraction of days whose realized start fell inside the predicted window.
+
+    Walks the history forward: each day is predicted from the prior days
+    only, then ingested.  Days before the first observation are skipped.
+    """
+    hits = 0
+    evaluated = 0
+    for start, duration in history:
+        if forecaster.n_observations > 0:
+            predicted = forecaster.predict()
+            evaluated += 1
+            if predicted.window.contains_slot(start):
+                hits += 1
+        forecaster.update(start, duration)
+    if evaluated == 0:
+        return 0.0
+    return hits / evaluated

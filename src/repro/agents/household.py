@@ -1,0 +1,71 @@
+"""Household agents: a type plus a behaviour plus a running account."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core.intervals import Interval
+from ..core.types import HouseholdType, Report
+from .behavior import Behavior, TruthfulBehavior
+
+
+@dataclass
+class HouseholdDayLog:
+    """What one household experienced on one day."""
+
+    day: int
+    report: Report
+    allocation: Interval
+    consumption: Interval
+    payment: float
+    utility: float
+
+    @property
+    def defected(self) -> bool:
+        return self.consumption != self.allocation
+
+
+class HouseholdAgent:
+    """An autonomous household participating in the neighborhood.
+
+    Wraps the private :class:`HouseholdType` with a behaviour strategy and
+    accumulates a per-day log that learning behaviours and the user-study
+    analysis read back.
+    """
+
+    def __init__(
+        self, household: HouseholdType, behavior: Optional[Behavior] = None
+    ) -> None:
+        self.household = household
+        self.behavior = behavior if behavior is not None else TruthfulBehavior()
+        self.history: List[HouseholdDayLog] = []
+
+    @property
+    def household_id(self) -> str:
+        return self.household.household_id
+
+    def report(self, day: int, rng: random.Random) -> Report:
+        """Declare the next day's preference."""
+        return self.behavior.report(day, self.household, rng)
+
+    def consume(
+        self, day: int, report: Report, allocation: Interval, rng: random.Random
+    ) -> Interval:
+        """Realize consumption given the received allocation."""
+        return self.behavior.consume(day, self.household, report, allocation, rng)
+
+    def record(self, log: HouseholdDayLog) -> None:
+        """Append a settled day to the agent's history."""
+        self.history.append(log)
+
+    def total_utility(self) -> float:
+        """Cumulative quasilinear utility over the recorded days."""
+        return sum(log.utility for log in self.history)
+
+    def defection_rate(self) -> float:
+        """Fraction of recorded days the agent defected."""
+        if not self.history:
+            return 0.0
+        return sum(1 for log in self.history if log.defected) / len(self.history)

@@ -1,0 +1,94 @@
+"""The neighborhood controller: the "center" of Figure 1.
+
+Mediates between household agents and the power company: collects reports,
+runs the mechanism's allocation, gathers realized consumption, settles
+payments and pushes each household its own day log (step 5 of Figure 1:
+"consumption and payment").
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from ..core.mechanism import DayOutcome, EnkiMechanism
+from ..core.types import ConsumptionMap, HouseholdId, Neighborhood, Report
+from ..sim.rng import spawn_seed
+from .behavior import Behavior
+from .ecc import EccBehavior
+from .household import HouseholdAgent, HouseholdDayLog
+
+
+class NeighborhoodController:
+    """Runs the Enki day cycle over a set of household agents."""
+
+    def __init__(
+        self,
+        agents: Sequence[HouseholdAgent],
+        mechanism: Optional[EnkiMechanism] = None,
+    ) -> None:
+        if not agents:
+            raise ValueError("a neighborhood needs at least one household agent")
+        ids = [agent.household_id for agent in agents]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate household ids: {ids}")
+        self.agents: Dict[HouseholdId, HouseholdAgent] = {
+            agent.household_id: agent for agent in agents
+        }
+        self.mechanism = mechanism if mechanism is not None else EnkiMechanism()
+        self.neighborhood = Neighborhood.of(
+            *(agent.household for agent in agents)
+        )
+        self._day = 0
+
+    def run_day(self, rng: Optional[random.Random] = None) -> DayOutcome:
+        """Execute one full day: report, allocate, consume, settle, notify."""
+        rng = rng if rng is not None else random.Random()
+        day = self._day
+
+        reports: Dict[HouseholdId, Report] = {
+            hid: agent.report(day, rng) for hid, agent in self.agents.items()
+        }
+        allocation_result = self.mechanism.allocate(
+            self.neighborhood, reports, random.Random(spawn_seed(rng))
+        )
+        consumption: ConsumptionMap = {
+            hid: agent.consume(
+                day, reports[hid], allocation_result.allocation[hid], rng
+            )
+            for hid, agent in self.agents.items()
+        }
+        settlement = self.mechanism.settle(
+            self.neighborhood, reports, allocation_result.allocation, consumption
+        )
+
+        for hid, agent in self.agents.items():
+            log = HouseholdDayLog(
+                day=day,
+                report=reports[hid],
+                allocation=allocation_result.allocation[hid],
+                consumption=consumption[hid],
+                payment=settlement.payments[hid],
+                utility=settlement.utilities[hid],
+            )
+            agent.record(log)
+            behavior: Behavior = agent.behavior
+            if isinstance(behavior, EccBehavior):
+                behavior.observe(consumption[hid])
+
+        self._day += 1
+        return DayOutcome(
+            reports=reports,
+            allocation_result=allocation_result,
+            consumption=consumption,
+            settlement=settlement,
+        )
+
+    def run_days(
+        self, days: int, seed: Optional[int] = None
+    ) -> List[DayOutcome]:
+        """Run several consecutive days with one master seed."""
+        if days < 1:
+            raise ValueError(f"days must be >= 1, got {days}")
+        rng = random.Random(seed)
+        return [self.run_day(random.Random(spawn_seed(rng))) for _ in range(days)]

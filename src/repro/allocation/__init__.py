@@ -1,0 +1,38 @@
+"""Allocation substrate: solvers for the Eq. 2 scheduling problem."""
+
+from .base import (
+    AllocationItem,
+    AllocationProblem,
+    AllocationResult,
+    Allocator,
+)
+from .decentralized import (
+    BestResponseDynamicsAllocator,
+    ConvergenceStats,
+    is_nash_equilibrium,
+)
+from .exhaustive import ExhaustiveAllocator
+from .greedy import GreedyFlexibilityAllocator
+from .local_search import LocalSearchAllocator, improve_allocation
+from .optimal import BranchAndBoundAllocator
+from .random_alloc import EarliestAllocator, RandomAllocator
+from .relaxation import quadratic_waterfill_bound, waterfill_levels
+
+__all__ = [
+    "AllocationItem",
+    "AllocationProblem",
+    "AllocationResult",
+    "Allocator",
+    "ExhaustiveAllocator",
+    "GreedyFlexibilityAllocator",
+    "LocalSearchAllocator",
+    "improve_allocation",
+    "BranchAndBoundAllocator",
+    "BestResponseDynamicsAllocator",
+    "ConvergenceStats",
+    "is_nash_equilibrium",
+    "EarliestAllocator",
+    "RandomAllocator",
+    "quadratic_waterfill_bound",
+    "waterfill_levels",
+]

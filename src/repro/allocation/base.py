@@ -1,0 +1,177 @@
+"""Allocator interface and the allocation problem (Eq. 2).
+
+An allocation problem fixes, for each household, a window, a duration and a
+power rating; an allocator places one duration-length block per household
+inside its window so as to minimize the neighborhood cost
+``kappa = sum_h P_h(l_h)``.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from ..core.intervals import Interval
+from ..core.types import (
+    AllocationMap,
+    HouseholdId,
+    HouseholdType,
+    Report,
+)
+from ..pricing.base import PricingModel
+from ..pricing.load_profile import LoadProfile
+
+
+@dataclass(frozen=True)
+class AllocationItem:
+    """One household's scheduling request inside an allocation problem."""
+
+    household_id: HouseholdId
+    window: Interval
+    duration: int
+    rating_kw: float
+
+    def __post_init__(self) -> None:
+        if self.duration < 1:
+            raise ValueError(f"duration must be >= 1, got {self.duration}")
+        if self.window.length < self.duration:
+            raise ValueError(
+                f"window {self.window} cannot fit duration {self.duration}"
+            )
+        if self.rating_kw <= 0:
+            raise ValueError(f"rating must be positive, got {self.rating_kw}")
+
+    @property
+    def n_placements(self) -> int:
+        """Number of feasible begin slots (``slack + 1``)."""
+        return self.window.length - self.duration + 1
+
+    @property
+    def energy_kwh(self) -> float:
+        """Energy this household consumes regardless of placement."""
+        return self.duration * self.rating_kw
+
+    def placements(self) -> Tuple[Interval, ...]:
+        """All feasible duration-length blocks, earliest first."""
+        return tuple(
+            Interval(start, start + self.duration)
+            for start in range(self.window.start, self.window.end - self.duration + 1)
+        )
+
+
+@dataclass(frozen=True)
+class AllocationProblem:
+    """A day's scheduling instance: requests plus the pricing model."""
+
+    items: Tuple[AllocationItem, ...]
+    pricing: PricingModel
+
+    def __post_init__(self) -> None:
+        ids = [item.household_id for item in self.items]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate household ids in allocation problem")
+
+    @classmethod
+    def from_reports(
+        cls,
+        reports: Mapping[HouseholdId, Report],
+        types: Mapping[HouseholdId, HouseholdType],
+        pricing: PricingModel,
+    ) -> "AllocationProblem":
+        """Build the day's problem from household reports."""
+        items = tuple(
+            AllocationItem(
+                household_id=hid,
+                window=report.preference.window,
+                duration=report.preference.duration,
+                rating_kw=types[hid].rating_kw,
+            )
+            for hid, report in reports.items()
+        )
+        return cls(items=items, pricing=pricing)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def cost(self, allocation: AllocationMap) -> float:
+        """Neighborhood cost ``kappa`` of an allocation for this problem."""
+        profile = LoadProfile.from_intervals(
+            (allocation[item.household_id], item.rating_kw) for item in self.items
+        )
+        return self.pricing.cost(profile)
+
+    def is_feasible(self, allocation: AllocationMap) -> bool:
+        """True when every item got a valid block inside its window."""
+        for item in self.items:
+            placed = allocation.get(item.household_id)
+            if placed is None:
+                return False
+            if placed.length != item.duration or not item.window.contains(placed):
+                return False
+        return True
+
+    def search_space_size(self) -> int:
+        """Product of per-household placement counts (Eq. 2 feasible set)."""
+        size = 1
+        for item in self.items:
+            size *= item.n_placements
+        return size
+
+
+@dataclass
+class AllocationResult:
+    """An allocator's answer plus solve diagnostics."""
+
+    allocation: AllocationMap
+    cost: float
+    wall_time_s: float
+    proven_optimal: bool = False
+    nodes_explored: int = 0
+    lower_bound: Optional[float] = None
+    allocator_name: str = ""
+
+
+class Allocator(abc.ABC):
+    """Strategy interface for solving :class:`AllocationProblem`."""
+
+    #: Human-readable name used in experiment output.
+    name: str = "allocator"
+
+    @abc.abstractmethod
+    def solve(
+        self, problem: AllocationProblem, rng: Optional[random.Random] = None
+    ) -> AllocationResult:
+        """Produce a feasible allocation for ``problem``.
+
+        Args:
+            problem: The day's scheduling instance.
+            rng: Randomness source for tie-breaking; a fresh deterministic
+                generator is used when omitted.
+        """
+
+    def _finish(
+        self,
+        problem: AllocationProblem,
+        allocation: AllocationMap,
+        started_at: float,
+        proven_optimal: bool = False,
+        nodes_explored: int = 0,
+        lower_bound: Optional[float] = None,
+    ) -> AllocationResult:
+        """Assemble a result, validating feasibility."""
+        if not problem.is_feasible(allocation):
+            raise RuntimeError(
+                f"{self.name} produced an infeasible allocation: {allocation}"
+            )
+        return AllocationResult(
+            allocation=allocation,
+            cost=problem.cost(allocation),
+            wall_time_s=time.perf_counter() - started_at,
+            proven_optimal=proven_optimal,
+            nodes_explored=nodes_explored,
+            lower_bound=lower_bound,
+            allocator_name=self.name,
+        )

@@ -1,0 +1,61 @@
+"""Uniform-random allocator: the no-coordination baseline.
+
+Places each household's block uniformly at random inside its window.  This
+is what a neighborhood looks like when everyone schedules independently —
+the reference point Enki's peak reduction is measured against in ablations.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Optional
+
+from ..core.intervals import Interval
+from ..core.types import AllocationMap
+from .base import AllocationProblem, AllocationResult, Allocator
+
+
+class RandomAllocator(Allocator):
+    """Independent uniform placement inside each reported window."""
+
+    name = "random"
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self._seed = seed
+
+    def solve(
+        self, problem: AllocationProblem, rng: Optional[random.Random] = None
+    ) -> AllocationResult:
+        started_at = time.perf_counter()
+        rng = rng if rng is not None else random.Random(self._seed)
+        allocation: AllocationMap = {}
+        for item in problem.items:
+            start = rng.randrange(
+                item.window.start, item.window.end - item.duration + 1
+            )
+            allocation[item.household_id] = Interval(start, start + item.duration)
+        return self._finish(problem, allocation, started_at)
+
+
+class EarliestAllocator(Allocator):
+    """Everyone starts at the beginning of their window.
+
+    Models the "everyone reacts to the same price signal" herding the paper
+    attributes to price-based control (Section II): with correlated window
+    starts this concentrates load and maximizes the peak.
+    """
+
+    name = "earliest"
+
+    def solve(
+        self, problem: AllocationProblem, rng: Optional[random.Random] = None
+    ) -> AllocationResult:
+        started_at = time.perf_counter()
+        allocation: AllocationMap = {
+            item.household_id: Interval(
+                item.window.start, item.window.start + item.duration
+            )
+            for item in problem.items
+        }
+        return self._finish(problem, allocation, started_at)

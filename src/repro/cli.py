@@ -1,0 +1,199 @@
+"""Command-line interface: ``enki-repro <experiment> [options]``.
+
+Examples::
+
+    enki-repro list
+    enki-repro fig4 --days 3 --populations 10,20
+    enki-repro tab2 --seed 99
+    enki-repro all --days 2 --populations 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments.runner import EXPERIMENTS, run_all, run_experiment
+
+#: Experiments that accept the social-welfare sweep options.
+_SWEEP_EXPERIMENTS = {"fig4", "fig5", "fig6"}
+
+#: Experiments driven by the user-study seed only.
+_STUDY_EXPERIMENTS = {"tab2", "tab3", "tab4", "fig8", "fig9"}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="enki-repro",
+        description=(
+            "Regenerate the tables and figures of 'A Mechanism for "
+            "Cooperative Demand-Side Management' (Enki, ICDCS 2017)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (see 'list'), or 'all', 'list', 'simulate'",
+    )
+    parser.add_argument(
+        "--n", type=int, default=20, help="households (simulate)"
+    )
+    parser.add_argument(
+        "--audit", type=str, default=None, help="JSONL audit log path (simulate)"
+    )
+    parser.add_argument("--seed", type=int, default=None, help="master seed override")
+    parser.add_argument(
+        "--days", type=int, default=None, help="simulated days per setting"
+    )
+    parser.add_argument(
+        "--populations",
+        type=str,
+        default=None,
+        help="comma-separated population sizes (fig4/fig5/fig6)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None, help="repeats per candidate (fig7)"
+    )
+    parser.add_argument(
+        "--time-limit",
+        type=float,
+        default=None,
+        help="exact-solver time limit in seconds (fig4/fig5/fig6)",
+    )
+    parser.add_argument(
+        "--save",
+        type=str,
+        default=None,
+        help="also write the rendered table(s) to this text file",
+    )
+    parser.add_argument(
+        "--csv",
+        type=str,
+        default=None,
+        help="also write the table as CSV to this file (single experiment only)",
+    )
+    return parser
+
+
+def _overrides_for(experiment_id: str, args: argparse.Namespace) -> dict:
+    overrides: dict = {}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if experiment_id in _SWEEP_EXPERIMENTS:
+        if args.days is not None:
+            overrides["days"] = args.days
+        if args.populations is not None:
+            overrides["populations"] = tuple(
+                int(part) for part in args.populations.split(",") if part
+            )
+        if args.time_limit is not None:
+            overrides["optimal_time_limit_s"] = args.time_limit
+    if experiment_id == "fig7" and args.repeats is not None:
+        overrides["repeats"] = args.repeats
+    if experiment_id in {"abl-order", "abl-pricing"} and args.days is not None:
+        overrides["days"] = args.days
+    return overrides
+
+
+def _simulate(args: argparse.Namespace) -> int:
+    """Run a multi-day §VI neighborhood and print the daily ledger."""
+    import numpy as np
+
+    from .core.mechanism import EnkiMechanism
+    from .io.audit import AuditLog
+    from .sim.engine import NeighborhoodSimulation
+    from .sim.profiles import ProfileGenerator, neighborhood_from_profiles
+    from .sim.results import format_table
+
+    seed = args.seed if args.seed is not None else 2017
+    days = args.days if args.days is not None else 7
+    generator = ProfileGenerator()
+    profiles = generator.sample_population(np.random.default_rng(seed), args.n)
+    neighborhood = neighborhood_from_profiles(profiles, "wide")
+    simulation = NeighborhoodSimulation(EnkiMechanism(seed=seed))
+    outcomes = simulation.run(neighborhood, days=days, seed=seed)
+
+    audit = AuditLog(args.audit) if args.audit else None
+    rows = []
+    for day, outcome in enumerate(outcomes):
+        settlement = outcome.settlement
+        defectors = sum(
+            1 for hid in outcome.allocation if outcome.defected(hid)
+        )
+        rows.append(
+            (
+                day,
+                f"{settlement.total_cost:.1f}",
+                f"{settlement.neighborhood_utility:.2f}",
+                f"{settlement.load_profile.peak_kw:.1f}",
+                f"{settlement.load_profile.peak_to_average_ratio():.2f}",
+                defectors,
+            )
+        )
+        if audit is not None:
+            audit.log_day(day, outcome)
+    print(
+        format_table(
+            ["day", "cost ($)", "surplus ($)", "peak (kW)", "PAR", "defectors"],
+            rows,
+        )
+    )
+    if audit is not None:
+        print(f"audit log written to {args.audit}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+
+    if args.experiment == "list":
+        for experiment_id in EXPERIMENTS:
+            print(experiment_id)
+        return 0
+
+    if args.experiment == "simulate":
+        return _simulate(args)
+
+    if args.experiment == "all":
+        chunks = []
+        for experiment_id in EXPERIMENTS:
+            report = run_experiment(
+                experiment_id, **_overrides_for(experiment_id, args)
+            )
+            chunk = f"== {report.experiment_id} ==\n{report.rendered}\n"
+            print(chunk)
+            chunks.append(chunk)
+        if args.save:
+            with open(args.save, "w", encoding="utf-8") as handle:
+                handle.write("\n".join(chunks))
+        return 0
+
+    if args.experiment not in EXPERIMENTS:
+        print(
+            f"unknown experiment {args.experiment!r}; try 'list'", file=sys.stderr
+        )
+        return 2
+
+    report = run_experiment(args.experiment, **_overrides_for(args.experiment, args))
+    print(report.rendered)
+    if args.save:
+        with open(args.save, "w", encoding="utf-8") as handle:
+            handle.write(report.rendered + "\n")
+    if args.csv:
+        from .io.csvout import table_text_to_csv
+
+        # Convert only the leading table block (some renders add footers).
+        lines = report.rendered.splitlines()
+        table_lines = []
+        for index, line in enumerate(lines):
+            if index >= 2 and not line.strip():
+                break
+            table_lines.append(line)
+        with open(args.csv, "w", encoding="utf-8") as handle:
+            handle.write(table_text_to_csv("\n".join(table_lines)))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,100 @@
+"""Enki's core: types, scores, payments and the mechanism itself."""
+
+from .defection import defection_score, defection_scores, overlap_fraction
+from .flexibility import (
+    flexibility_score,
+    predicted_flexibility,
+    realized_flexibility,
+    window_coverage,
+)
+from .intervals import HOURS, HOURS_PER_DAY, Interval, IntervalError, block, feasible_starts
+from .payments import (
+    DEFAULT_XI,
+    neighborhood_utility,
+    payments,
+    proportional_payments,
+)
+from .social_cost import DEFAULT_K, normalized_shares, social_cost_scores
+from .types import (
+    DEFAULT_RATING_KW,
+    AllocationMap,
+    ConsumptionMap,
+    HouseholdId,
+    HouseholdType,
+    Neighborhood,
+    Preference,
+    Report,
+    validate_allocation,
+    validate_consumption,
+)
+from .utility import household_utilities, household_utility
+from .valuation import (
+    household_valuation,
+    max_valuation,
+    satisfied_hours,
+    valuation,
+)
+
+# The mechanism module depends on repro.allocation, which itself imports the
+# sibling modules above; exposing it lazily (PEP 562) breaks that cycle.
+_MECHANISM_EXPORTS = (
+    "DayOutcome",
+    "EnkiMechanism",
+    "Settlement",
+    "closest_feasible_consumption",
+    "default_consumption",
+    "truthful_reports",
+)
+
+
+def __getattr__(name):
+    if name in _MECHANISM_EXPORTS:
+        from . import mechanism
+
+        return getattr(mechanism, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "HOURS",
+    "HOURS_PER_DAY",
+    "Interval",
+    "IntervalError",
+    "block",
+    "feasible_starts",
+    "DEFAULT_RATING_KW",
+    "AllocationMap",
+    "ConsumptionMap",
+    "HouseholdId",
+    "HouseholdType",
+    "Neighborhood",
+    "Preference",
+    "Report",
+    "validate_allocation",
+    "validate_consumption",
+    "valuation",
+    "max_valuation",
+    "satisfied_hours",
+    "household_valuation",
+    "flexibility_score",
+    "predicted_flexibility",
+    "realized_flexibility",
+    "window_coverage",
+    "defection_score",
+    "defection_scores",
+    "overlap_fraction",
+    "DEFAULT_K",
+    "normalized_shares",
+    "social_cost_scores",
+    "DEFAULT_XI",
+    "payments",
+    "proportional_payments",
+    "neighborhood_utility",
+    "household_utility",
+    "household_utilities",
+    "EnkiMechanism",
+    "Settlement",
+    "DayOutcome",
+    "truthful_reports",
+    "default_consumption",
+    "closest_feasible_consumption",
+]

@@ -1,0 +1,112 @@
+"""Defection scores (Eq. 5 and Example 4).
+
+``delta_i = (kappa(s_{-i} ∪ omega_i) - kappa(s)) / e^{o_i}``
+
+where ``kappa(s_{-i} ∪ omega_i)`` is the neighborhood's cost if everyone
+except *i* followed their allocation while *i* consumed as it actually did,
+``kappa(s)`` is the all-cooperate cost, and ``o_i`` is the overlap fraction
+between *i*'s consumption and its allocation.  A household that follows its
+allocation has ``delta_i = 0``; a defector pays more the further (and the
+more harmfully) it strays.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping
+
+from ..pricing.base import PricingModel
+from ..pricing.load_profile import LoadProfile
+from .intervals import Interval
+from .types import AllocationMap, ConsumptionMap, HouseholdId, HouseholdType
+
+
+def overlap_fraction(allocation: Interval, consumption: Interval) -> float:
+    """The paper's ``o_i = |s_i ∩ omega_i| / v_i`` in ``[0, 1]``.
+
+    Both intervals have the household's duration, so a full match gives 1
+    and disjoint intervals give 0 (e.g. ``s=(14,18)``, ``omega=(15,19)``
+    gives ``o = 3/4``).
+    """
+    if allocation.length != consumption.length:
+        raise ValueError(
+            f"allocation {allocation} and consumption {consumption} have different durations"
+        )
+    if allocation.length == 0:
+        raise ValueError("cannot take the overlap fraction of empty intervals")
+    return allocation.overlap(consumption) / allocation.length
+
+
+def defection_score(
+    household_id: HouseholdId,
+    allocation: AllocationMap,
+    consumption: ConsumptionMap,
+    types: Mapping[HouseholdId, HouseholdType],
+    pricing: PricingModel,
+    clamp_negative: bool = True,
+) -> float:
+    """Eq. 5 for one household.
+
+    Args:
+        household_id: The household being scored.
+        allocation: The full allocation ``s``.
+        consumption: The realized consumption ``omega``.
+        types: Household types (for per-household power ratings).
+        pricing: Neighborhood pricing model for ``kappa``.
+        clamp_negative: When True (default, matching the paper's reading
+            that ``delta_i > 0`` iff the household misreports and defects),
+            a deviation that happens to *lower* cost still scores 0 rather
+            than a negative value.
+
+    Returns:
+        The (non-negative, unless unclamped) defection score ``delta_i``.
+    """
+    own_allocation = allocation[household_id]
+    own_consumption = consumption[household_id]
+    if own_consumption == own_allocation:
+        return 0.0
+
+    cooperative_cost = pricing.schedule_cost(allocation, types)
+    deviated = dict(allocation)
+    deviated[household_id] = own_consumption
+    deviated_cost = pricing.schedule_cost(deviated, types)
+
+    overlap = overlap_fraction(own_allocation, own_consumption)
+    score = (deviated_cost - cooperative_cost) / math.exp(overlap)
+    if clamp_negative:
+        score = max(score, 0.0)
+    return score
+
+
+def defection_scores(
+    allocation: AllocationMap,
+    consumption: ConsumptionMap,
+    types: Mapping[HouseholdId, HouseholdType],
+    pricing: PricingModel,
+    clamp_negative: bool = True,
+) -> Dict[HouseholdId, float]:
+    """Eq. 5 for every household, sharing the cooperative-cost baseline.
+
+    Computes ``kappa(s)`` once and evaluates each household's unilateral
+    deviation incrementally, so settlement stays O(n) full-cost evaluations
+    rather than O(n) schedule rebuilds.
+    """
+    base_profile = LoadProfile.from_schedule(allocation, types)
+    cooperative_cost = pricing.cost(base_profile)
+
+    scores: Dict[HouseholdId, float] = {}
+    for hid in allocation:
+        own_allocation = allocation[hid]
+        own_consumption = consumption[hid]
+        if own_consumption == own_allocation:
+            scores[hid] = 0.0
+            continue
+        rating = types[hid].rating_kw
+        profile = base_profile.copy()
+        profile.remove(own_allocation, rating)
+        profile.add(own_consumption, rating)
+        deviated_cost = pricing.cost(profile)
+        overlap = overlap_fraction(own_allocation, own_consumption)
+        score = (deviated_cost - cooperative_cost) / math.exp(overlap)
+        scores[hid] = max(score, 0.0) if clamp_negative else score
+    return scores

@@ -1,0 +1,90 @@
+"""Flexibility scores (Eq. 4 and Section IV-B3).
+
+``f_i = ((beta_i - alpha_i) / v_i) * (1 / N_i)`` where ``N_i`` is the mean,
+over the hours of household *i*'s window, of ``n_h`` — the number of
+households whose window covers hour ``h``.  Wider windows and off-peak
+windows both raise ``f_i`` (Properties 1 and 2; Examples 2 and 3).
+
+Two variants appear in the paper:
+
+* **Predicted** flexibility assumes every household reported truthfully and
+  is computed from the reported windows; the greedy allocator orders
+  households by it (Section IV-C).
+* **Realized** flexibility feeds the payment: it equals the predicted score
+  when the household follows its allocation and is 0 when it defects
+  ("f_i = 0 ... when the household misreports and defects").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+import numpy as np
+
+from .intervals import HOURS_PER_DAY, Interval
+from .types import AllocationMap, ConsumptionMap, HouseholdId, Preference
+
+
+def window_coverage(windows: Mapping[HouseholdId, Interval]) -> np.ndarray:
+    """``n_h`` for each hour: how many windows cover hour ``h``."""
+    coverage = np.zeros(HOURS_PER_DAY, dtype=float)
+    for window in windows.values():
+        coverage[window.start:window.end] += 1.0
+    return coverage
+
+
+def flexibility_score(
+    preference: Preference, coverage: np.ndarray
+) -> float:
+    """Eq. 4 for one household given the hourly coverage counts ``n_h``.
+
+    Args:
+        preference: The household's (reported) preference.
+        coverage: Per-hour counts ``n_h`` including this household itself.
+
+    Returns:
+        ``f_i = (window_length / duration) / N_i`` where ``N_i`` is the mean
+        of ``coverage`` over the window's hours.
+    """
+    window = preference.window
+    n_mean = float(coverage[window.start:window.end].mean())
+    if n_mean <= 0:
+        raise ValueError(
+            f"coverage over {window} must count the household itself (got mean {n_mean})"
+        )
+    return (window.length / preference.duration) / n_mean
+
+
+def predicted_flexibility(
+    reports: Mapping[HouseholdId, Preference],
+) -> Dict[HouseholdId, float]:
+    """Predicted flexibility of every household from reported windows.
+
+    This is the score the greedy allocator sorts by; defectors still get a
+    positive predicted score because the center cannot yet know they will
+    defect (Section IV-C).
+    """
+    windows = {hid: pref.window for hid, pref in reports.items()}
+    coverage = window_coverage(windows)
+    return {
+        hid: flexibility_score(pref, coverage) for hid, pref in reports.items()
+    }
+
+
+def realized_flexibility(
+    reports: Mapping[HouseholdId, Preference],
+    allocation: AllocationMap,
+    consumption: ConsumptionMap,
+) -> Dict[HouseholdId, float]:
+    """Flexibility actually credited at settlement.
+
+    Households that deviate from their allocation forfeit their flexibility
+    score entirely; cooperative households keep the Eq. 4 value computed
+    from the reported windows.
+    """
+    predicted = predicted_flexibility(reports)
+    scores: Dict[HouseholdId, float] = {}
+    for hid, score in predicted.items():
+        followed = consumption[hid] == allocation[hid]
+        scores[hid] = score if followed else 0.0
+    return scores

@@ -1,0 +1,127 @@
+"""Time-grid and interval arithmetic for the Enki day-ahead model.
+
+The paper works on an hourly grid ``H = {0, ..., 23}``.  We represent a
+contiguous block of hours as a half-open integer interval ``[start, end)``
+whose endpoints are slot *boundaries* in ``0..24``.  An interval therefore
+covers the hour slots ``start, start + 1, ..., end - 1``.  This convention
+makes the paper's constructs exact:
+
+* a preference ``(alpha, beta, v)`` requires ``beta - alpha >= v``;
+* the Section VI workload generator draws wide-interval ending times up to
+  24, which is a valid boundary but not a valid slot;
+* overlap lengths (``tau_i`` in Eq. 3, ``|s_i ∩ w_i|`` in Eq. 5) are plain
+  integer intersections of half-open intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+#: Number of hour slots in a scheduling day.
+HOURS_PER_DAY = 24
+
+#: The hour slots of a day, ``H = {0, ..., 23}`` in the paper's notation.
+HOURS: Tuple[int, ...] = tuple(range(HOURS_PER_DAY))
+
+
+class IntervalError(ValueError):
+    """Raised when an interval or preference is malformed."""
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A half-open block of hours ``[start, end)`` on the daily grid.
+
+    Attributes:
+        start: First covered hour slot (boundary in ``0..24``).
+        end: One past the last covered hour slot (boundary in ``0..24``).
+    """
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.start, int) or not isinstance(self.end, int):
+            raise IntervalError(
+                f"interval endpoints must be integers, got ({self.start!r}, {self.end!r})"
+            )
+        if not 0 <= self.start <= HOURS_PER_DAY:
+            raise IntervalError(f"interval start {self.start} outside [0, {HOURS_PER_DAY}]")
+        if not 0 <= self.end <= HOURS_PER_DAY:
+            raise IntervalError(f"interval end {self.end} outside [0, {HOURS_PER_DAY}]")
+        if self.end < self.start:
+            raise IntervalError(f"interval end {self.end} precedes start {self.start}")
+
+    @property
+    def length(self) -> int:
+        """Number of hour slots covered."""
+        return self.end - self.start
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the interval covers no slots."""
+        return self.end == self.start
+
+    def slots(self) -> Iterator[int]:
+        """Iterate the hour slots covered by this interval."""
+        return iter(range(self.start, self.end))
+
+    def contains_slot(self, hour: int) -> bool:
+        """True when hour slot ``hour`` lies inside the interval."""
+        return self.start <= hour < self.end
+
+    def contains(self, other: "Interval") -> bool:
+        """True when ``other`` lies fully inside this interval."""
+        if other.is_empty:
+            return self.start <= other.start <= self.end
+        return self.start <= other.start and other.end <= self.end
+
+    def overlap(self, other: "Interval") -> int:
+        """Length of the intersection with ``other`` in hours.
+
+        This is the paper's ``|s_i ∩ w_i|`` used for the overlap fraction
+        ``o_i`` (Eq. 5) and, against the true window, the valuation overlap
+        ``tau_i`` (Eq. 3).
+        """
+        return max(0, min(self.end, other.end) - max(self.start, other.start))
+
+    def intersection(self, other: "Interval") -> "Interval":
+        """The intersecting interval (empty interval at ``start`` if disjoint)."""
+        lo = max(self.start, other.start)
+        hi = min(self.end, other.end)
+        if hi <= lo:
+            return Interval(lo if lo <= HOURS_PER_DAY else HOURS_PER_DAY, lo)
+        return Interval(lo, hi)
+
+    def shift(self, hours: int) -> "Interval":
+        """A copy shifted right by ``hours`` (negative shifts left)."""
+        return Interval(self.start + hours, self.end + hours)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.start}, {self.end})"
+
+
+def block(start: int, length: int) -> Interval:
+    """An interval of ``length`` slots beginning at slot ``start``."""
+    return Interval(start, start + length)
+
+
+def feasible_starts(window: Interval, duration: int) -> range:
+    """All begin slots that fit a ``duration``-hour block inside ``window``.
+
+    Returns an empty range when the duration does not fit.  The deferment
+    variable ``d_i`` of Eq. 2 is ``start - window.start`` for each entry.
+    """
+    if duration <= 0:
+        raise IntervalError(f"duration must be positive, got {duration}")
+    last = window.end - duration
+    if last < window.start:
+        return range(window.start, window.start)
+    return range(window.start, last + 1)
+
+
+def placements(window: Interval, duration: int) -> Iterator[Interval]:
+    """All duration-length blocks that fit inside ``window``."""
+    for start in feasible_starts(window, duration):
+        yield Interval(start, start + duration)

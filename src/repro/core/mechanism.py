@@ -1,0 +1,227 @@
+"""The Enki mechanism: one day of report → allocate → consume → settle.
+
+This module wires the pieces of Section IV together.  Given a neighborhood
+and its reports, :class:`EnkiMechanism` produces an allocation with a
+pluggable allocator (the paper's greedy by default), accepts realized
+consumption, and settles the day: flexibility scores (Eq. 4), defection
+scores (Eq. 5), social-cost scores (Eq. 6), payments (Eq. 7), valuations
+(Eq. 3) and quasilinear utilities (Eq. 8).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from ..allocation.base import AllocationProblem, AllocationResult, Allocator
+from ..allocation.greedy import GreedyFlexibilityAllocator
+from ..pricing.base import PricingModel
+from ..pricing.load_profile import LoadProfile
+from ..pricing.quadratic import QuadraticPricing
+from .defection import defection_scores, overlap_fraction
+from .flexibility import realized_flexibility
+from .intervals import Interval
+from .payments import DEFAULT_XI, neighborhood_utility, payments
+from .social_cost import DEFAULT_K, social_cost_scores
+from .types import (
+    AllocationMap,
+    ConsumptionMap,
+    HouseholdId,
+    Neighborhood,
+    Report,
+    validate_allocation,
+    validate_consumption,
+)
+from .valuation import household_valuation
+
+
+def truthful_reports(neighborhood: Neighborhood) -> Dict[HouseholdId, Report]:
+    """Every household reports its true preference."""
+    return {
+        hh.household_id: Report(hh.household_id, hh.true_preference)
+        for hh in neighborhood
+    }
+
+
+def closest_feasible_consumption(
+    true_window: Interval, duration: int, allocation: Interval
+) -> Interval:
+    """Consumption inside the true window, as close to the allocation as possible.
+
+    This automates the user study's consumption step ("selecting real
+    consumption to be within the subject's true interval and close to his
+    allocation").  If the allocation already fits the true window it is
+    followed exactly; otherwise the household defects to the in-window
+    placement that maximizes overlap with the allocation (earliest on ties).
+    """
+    best_start = true_window.start
+    best_overlap = -1
+    for start in range(true_window.start, true_window.end - duration + 1):
+        candidate = Interval(start, start + duration)
+        overlap = candidate.overlap(allocation)
+        if overlap > best_overlap:
+            best_start, best_overlap = start, overlap
+    return Interval(best_start, best_start + duration)
+
+
+def default_consumption(
+    neighborhood: Neighborhood,
+    allocation: AllocationMap,
+) -> ConsumptionMap:
+    """Closest-feasible consumption for every household."""
+    consumption: ConsumptionMap = {}
+    for hh in neighborhood:
+        true = hh.true_preference
+        consumption[hh.household_id] = closest_feasible_consumption(
+            true.window, true.duration, allocation[hh.household_id]
+        )
+    return consumption
+
+
+@dataclass
+class Settlement:
+    """Everything the center computes when it bills a day."""
+
+    total_cost: float
+    flexibility: Dict[HouseholdId, float]
+    defection: Dict[HouseholdId, float]
+    social_cost: Dict[HouseholdId, float]
+    payments: Dict[HouseholdId, float]
+    valuations: Dict[HouseholdId, float]
+    utilities: Dict[HouseholdId, float]
+    overlap_fractions: Dict[HouseholdId, float]
+    neighborhood_utility: float
+    load_profile: LoadProfile
+
+
+@dataclass
+class DayOutcome:
+    """A full day under Enki: inputs, allocation and settlement."""
+
+    reports: Dict[HouseholdId, Report]
+    allocation_result: AllocationResult
+    consumption: ConsumptionMap
+    settlement: Settlement
+
+    @property
+    def allocation(self) -> AllocationMap:
+        return self.allocation_result.allocation
+
+    def defected(self, household_id: HouseholdId) -> bool:
+        """True when the household deviated from its allocation."""
+        return self.consumption[household_id] != self.allocation[household_id]
+
+
+class EnkiMechanism:
+    """The tractable, budget-balanced DSM mechanism of the paper.
+
+    Args:
+        pricing: Neighborhood pricing model (quadratic, Eq. 1, by default).
+        allocator: Allocation strategy (the Section IV-C greedy by default).
+        k: Social-cost scaling factor (Eq. 6).
+        xi: Payment scaling factor (Eq. 7); ``xi >= 1`` gives Theorem 1.
+        seed: Seed for allocation tie-breaking when no rng is provided.
+    """
+
+    def __init__(
+        self,
+        pricing: Optional[PricingModel] = None,
+        allocator: Optional[Allocator] = None,
+        k: float = DEFAULT_K,
+        xi: float = DEFAULT_XI,
+        seed: Optional[int] = None,
+    ) -> None:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        if xi < 1.0:
+            raise ValueError(f"xi must be >= 1, got {xi}")
+        self.pricing = pricing if pricing is not None else QuadraticPricing()
+        self.allocator = allocator if allocator is not None else GreedyFlexibilityAllocator()
+        self.k = k
+        self.xi = xi
+        self._seed = seed
+
+    def allocate(
+        self,
+        neighborhood: Neighborhood,
+        reports: Mapping[HouseholdId, Report],
+        rng: Optional[random.Random] = None,
+    ) -> AllocationResult:
+        """Solve the day's allocation problem for the given reports."""
+        rng = rng if rng is not None else random.Random(self._seed)
+        problem = AllocationProblem.from_reports(reports, neighborhood.households, self.pricing)
+        result = self.allocator.solve(problem, rng)
+        validate_allocation(dict(reports), result.allocation)
+        return result
+
+    def settle(
+        self,
+        neighborhood: Neighborhood,
+        reports: Mapping[HouseholdId, Report],
+        allocation: AllocationMap,
+        consumption: ConsumptionMap,
+    ) -> Settlement:
+        """Bill a completed day (Eqs. 3-8)."""
+        validate_allocation(dict(reports), allocation)
+        validate_consumption(neighborhood.households, consumption)
+
+        types = neighborhood.households
+        profile = LoadProfile.from_schedule(consumption, types)
+        total_cost = self.pricing.cost(profile)
+
+        preferences = {hid: report.preference for hid, report in reports.items()}
+        flexibility = realized_flexibility(preferences, allocation, consumption)
+        defection = defection_scores(allocation, consumption, types, self.pricing)
+        social = social_cost_scores(flexibility, defection, self.k)
+        pay = payments(social, total_cost, self.xi)
+        valuations = {
+            hid: household_valuation(types[hid], allocation[hid]) for hid in types
+        }
+        utilities = {hid: valuations[hid] - pay[hid] for hid in types}
+        overlaps = {
+            hid: overlap_fraction(allocation[hid], consumption[hid]) for hid in types
+        }
+        return Settlement(
+            total_cost=total_cost,
+            flexibility=flexibility,
+            defection=defection,
+            social_cost=social,
+            payments=pay,
+            valuations=valuations,
+            utilities=utilities,
+            overlap_fractions=overlaps,
+            neighborhood_utility=neighborhood_utility(pay, total_cost),
+            load_profile=profile,
+        )
+
+    def run_day(
+        self,
+        neighborhood: Neighborhood,
+        reports: Optional[Mapping[HouseholdId, Report]] = None,
+        consumption: Optional[ConsumptionMap] = None,
+        rng: Optional[random.Random] = None,
+    ) -> DayOutcome:
+        """Run one full day: allocate the reports, realize consumption, settle.
+
+        Args:
+            neighborhood: The households and their true types.
+            reports: Declared preferences; truthful reports when omitted.
+            consumption: Realized consumption; closest-feasible behaviour
+                (follow the allocation when it fits the true window) when
+                omitted.
+            rng: Randomness for allocation tie-breaking.
+        """
+        reports = dict(reports) if reports is not None else truthful_reports(neighborhood)
+        allocation_result = self.allocate(neighborhood, reports, rng)
+        if consumption is None:
+            consumption = default_consumption(neighborhood, allocation_result.allocation)
+        settlement = self.settle(
+            neighborhood, reports, allocation_result.allocation, consumption
+        )
+        return DayOutcome(
+            reports=reports,
+            allocation_result=allocation_result,
+            consumption=dict(consumption),
+            settlement=settlement,
+        )

@@ -1,0 +1,78 @@
+"""Payment mechanism (Eq. 7) and the budget-balance identity (Theorem 1).
+
+``p_i = Psi_i / sum(Psi) * xi * kappa(omega)``, with ``xi >= 1``.
+
+Summing over households gives ``sum(p) = xi * kappa(omega)``, so the
+neighborhood's net utility is ``(xi - 1) * kappa(omega) >= 0`` — the ex ante
+budget balance of Theorem 1 is an arithmetic identity of this mechanism.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from .types import HouseholdId
+
+#: Payment scaling factor ``xi`` from Section VI.
+DEFAULT_XI = 1.2
+
+
+def payments(
+    social_cost: Mapping[HouseholdId, float],
+    total_cost: float,
+    xi: float = DEFAULT_XI,
+) -> Dict[HouseholdId, float]:
+    """Eq. 7: split ``xi * kappa(omega)`` in proportion to ``Psi_i``.
+
+    Args:
+        social_cost: Social-cost scores ``Psi_i`` (all positive).
+        total_cost: The neighborhood's realized cost ``kappa(omega)``.
+        xi: Scaling factor; ``xi >= 1`` guarantees budget balance.
+
+    Returns:
+        Payment per household.
+    """
+    if xi < 1.0:
+        raise ValueError(f"xi must be >= 1 for budget balance, got {xi}")
+    if total_cost < 0:
+        raise ValueError(f"total cost cannot be negative, got {total_cost}")
+    if not social_cost:
+        return {}
+    total_score = sum(social_cost.values())
+    if total_score <= 0:
+        raise ValueError("social-cost scores must sum to a positive value")
+    return {
+        hid: score / total_score * xi * total_cost
+        for hid, score in social_cost.items()
+    }
+
+
+def neighborhood_utility(
+    household_payments: Mapping[HouseholdId, float], total_cost: float
+) -> float:
+    """``U_c = sum(p_i) - kappa(omega)``, equal to ``(xi-1) * kappa`` (Thm 1)."""
+    return sum(household_payments.values()) - total_cost
+
+
+def proportional_payments(
+    energy_kwh: Mapping[HouseholdId, float],
+    total_cost: float,
+    xi: float = DEFAULT_XI,
+) -> Dict[HouseholdId, float]:
+    """The price-taking split used *without* Enki (Section V-D).
+
+    Each household pays in proportion to its energy use:
+    ``p^z_i = b_i / sum(b) * xi * kappa(omega^z)`` (Kelly's proportional
+    allocation).  Used by Theorems 5-6 as the participation counterfactual.
+    """
+    if xi < 1.0:
+        raise ValueError(f"xi must be >= 1 for budget balance, got {xi}")
+    if not energy_kwh:
+        return {}
+    total_energy = sum(energy_kwh.values())
+    if total_energy <= 0:
+        raise ValueError("total energy must be positive")
+    return {
+        hid: usage / total_energy * xi * total_cost
+        for hid, usage in energy_kwh.items()
+    }

@@ -1,0 +1,68 @@
+"""Social-cost scores (Eq. 6) combining flexibility and defection.
+
+The raw scores are normalized to shares and shifted into ``[0.5, 1.5]``:
+
+``Psi_i = k * (delta_i / sum(delta) + 1/2) / (f_i / sum(f) + 1/2)``
+
+A truthful, cooperative household has ``f_i > 0`` and ``delta_i = 0``; a
+misreporting defector has ``f_i = 0`` and ``delta_i > 0``, so ``Psi`` moves
+payments from the flexible to the disruptive.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from .types import HouseholdId
+
+#: Scaling factor ``k`` from Section VI.
+DEFAULT_K = 1.0
+
+#: Lower end of the normalized score range, the neutral share offset.
+NORMALIZATION_OFFSET = 0.5
+
+
+def normalized_shares(scores: Mapping[HouseholdId, float]) -> Dict[HouseholdId, float]:
+    """Shift raw scores into the paper's ``[0.5, 1.5]`` normalized range.
+
+    Each value becomes ``score / sum(scores) + 0.5``.  When every raw score
+    is zero (e.g. no household defected) the share term is undefined, so all
+    households get the neutral midpoint 0.5 — this keeps Eq. 6 well-defined
+    and payment shares equal, matching the all-cooperate intuition.
+    """
+    total = sum(scores.values())
+    if total <= 0:
+        return {hid: NORMALIZATION_OFFSET for hid in scores}
+    return {hid: value / total + NORMALIZATION_OFFSET for hid, value in scores.items()}
+
+
+def social_cost_scores(
+    flexibility: Mapping[HouseholdId, float],
+    defection: Mapping[HouseholdId, float],
+    k: float = DEFAULT_K,
+) -> Dict[HouseholdId, float]:
+    """Eq. 6 for every household.
+
+    Args:
+        flexibility: Realized flexibility scores ``f_i`` (>= 0).
+        defection: Defection scores ``delta_i`` (>= 0).
+        k: Positive scaling factor ``k``.
+
+    Returns:
+        ``Psi_i`` per household; always positive because both normalized
+        terms lie in ``[0.5, 1.5]``.
+    """
+    if k <= 0:
+        raise ValueError(f"scaling factor k must be positive, got {k}")
+    if set(flexibility) != set(defection):
+        raise ValueError("flexibility and defection scores cover different households")
+    for name, scores in (("flexibility", flexibility), ("defection", defection)):
+        negative = [hid for hid, value in scores.items() if value < 0]
+        if negative:
+            raise ValueError(f"negative {name} scores for {sorted(negative)}")
+
+    flexible_shares = normalized_shares(flexibility)
+    defection_shares = normalized_shares(defection)
+    return {
+        hid: k * defection_shares[hid] / flexible_shares[hid] for hid in flexibility
+    }

@@ -1,0 +1,231 @@
+"""Domain types for the Enki neighborhood model (Table I of the paper).
+
+The paper's symbols map onto these types as follows:
+
+==============================  =============================================
+Paper symbol                    Type / attribute
+==============================  =============================================
+``chi_i = (alpha, beta, v)``    :class:`Preference` (window + duration)
+``theta_i = (chi_i, rho_i)``    :class:`HouseholdType`
+``s_i = (alpha_s, beta_s)``     :class:`core.intervals.Interval` (length v)
+``omega_i``                     :class:`core.intervals.Interval` (length v)
+``r``                           ``HouseholdType.rating_kw``
+==============================  =============================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping
+
+from .intervals import Interval, IntervalError, feasible_starts
+
+#: Identifier for a household within a neighborhood.
+HouseholdId = str
+
+#: Default appliance power rating in kW (Section VI uses 2 kWh per hour).
+DEFAULT_RATING_KW = 2.0
+
+
+@dataclass(frozen=True)
+class Preference:
+    """A household's (true or reported) preference ``chi = (alpha, beta, v)``.
+
+    The household wants ``duration`` contiguous hours of power anywhere
+    inside ``window``; the paper requires ``beta - alpha >= v``.
+
+    Attributes:
+        window: Admissible interval ``[alpha, beta)``.
+        duration: Preferred duration ``v`` in hours (``v >= 1``).
+    """
+
+    window: Interval
+    duration: int
+
+    def __post_init__(self) -> None:
+        if self.duration < 1:
+            raise IntervalError(f"duration must be >= 1 hour, got {self.duration}")
+        if self.window.length < self.duration:
+            raise IntervalError(
+                f"window {self.window} shorter than duration {self.duration}"
+            )
+
+    @property
+    def begin(self) -> int:
+        """The preferred beginning time ``alpha``."""
+        return self.window.start
+
+    @property
+    def end(self) -> int:
+        """The preferred ending time ``beta``."""
+        return self.window.end
+
+    @property
+    def slack(self) -> int:
+        """Maximum deferment ``beta - alpha - v`` (0 means no choice)."""
+        return self.window.length - self.duration
+
+    def admits(self, interval: Interval) -> bool:
+        """True when ``interval`` is a valid allocation for this preference.
+
+        A valid allocation has exactly the preferred duration and lies fully
+        inside the preference window.
+        """
+        return interval.length == self.duration and self.window.contains(interval)
+
+    def placements(self):
+        """All duration-length intervals admissible under this preference."""
+        for start in feasible_starts(self.window, self.duration):
+            yield Interval(start, start + self.duration)
+
+    @staticmethod
+    def of(begin: int, end: int, duration: int) -> "Preference":
+        """Build a preference from the paper's ``(alpha, beta, v)`` triple."""
+        return Preference(Interval(begin, end), duration)
+
+
+@dataclass(frozen=True)
+class HouseholdType:
+    """Private type ``theta_i = (chi_i, rho_i)`` of a household.
+
+    Attributes:
+        household_id: Stable identifier within the neighborhood.
+        true_preference: The household's true preference ``chi_i``.
+        valuation_factor: Willingness-to-pay factor ``rho_i > 0``.
+        rating_kw: Appliance power rating ``r`` in kW.
+    """
+
+    household_id: HouseholdId
+    true_preference: Preference
+    valuation_factor: float
+    rating_kw: float = DEFAULT_RATING_KW
+
+    def __post_init__(self) -> None:
+        if self.valuation_factor <= 0:
+            raise ValueError(
+                f"valuation factor must be positive, got {self.valuation_factor}"
+            )
+        if self.rating_kw <= 0:
+            raise ValueError(f"power rating must be positive, got {self.rating_kw}")
+
+    @property
+    def duration(self) -> int:
+        """The preferred duration ``v_i`` (assumed truthfully reported)."""
+        return self.true_preference.duration
+
+    def with_preference(self, preference: Preference) -> "HouseholdType":
+        """A copy of this type with a different true preference."""
+        return replace(self, true_preference=preference)
+
+
+@dataclass(frozen=True)
+class Report:
+    """A household's declared preference ``chi_hat_i`` for the next day.
+
+    The paper assumes durations are reported truthfully, so a report only
+    chooses the window; Enki never alters the duration.
+    """
+
+    household_id: HouseholdId
+    preference: Preference
+
+    def is_truthful(self, true_preference: Preference) -> bool:
+        """True when the reported window equals the true window."""
+        return self.preference == true_preference
+
+
+#: An allocation ``s``: one suggested interval per household.
+AllocationMap = Dict[HouseholdId, Interval]
+
+#: A consumption profile ``omega``: one realized interval per household.
+ConsumptionMap = Dict[HouseholdId, Interval]
+
+
+@dataclass(frozen=True)
+class Neighborhood:
+    """A fixed set of households served by one center.
+
+    Attributes:
+        households: Mapping of id to :class:`HouseholdType`, insertion ordered.
+    """
+
+    households: Mapping[HouseholdId, HouseholdType] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for hid, hh in self.households.items():
+            if hid != hh.household_id:
+                raise ValueError(
+                    f"household key {hid!r} disagrees with id {hh.household_id!r}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.households)
+
+    def __iter__(self):
+        return iter(self.households.values())
+
+    def __contains__(self, household_id: HouseholdId) -> bool:
+        return household_id in self.households
+
+    def __getitem__(self, household_id: HouseholdId) -> HouseholdType:
+        return self.households[household_id]
+
+    def ids(self):
+        """The household ids in insertion order."""
+        return list(self.households.keys())
+
+    @staticmethod
+    def of(*households: HouseholdType) -> "Neighborhood":
+        """Build a neighborhood from household types."""
+        return Neighborhood({hh.household_id: hh for hh in households})
+
+
+def validate_allocation(
+    reports: Mapping[HouseholdId, Report], allocation: AllocationMap
+) -> None:
+    """Check an allocation against reports (Section III constraints).
+
+    Every reported household must receive exactly one interval of its
+    reported duration inside its reported window.
+
+    Raises:
+        IntervalError: When any constraint is violated.
+    """
+    missing = set(reports) - set(allocation)
+    if missing:
+        raise IntervalError(f"allocation missing households: {sorted(missing)}")
+    extra = set(allocation) - set(reports)
+    if extra:
+        raise IntervalError(f"allocation covers unknown households: {sorted(extra)}")
+    for hid, report in reports.items():
+        if not report.preference.admits(allocation[hid]):
+            raise IntervalError(
+                f"allocation {allocation[hid]} for {hid!r} violates report "
+                f"window {report.preference.window} / duration {report.preference.duration}"
+            )
+
+
+def validate_consumption(
+    types: Mapping[HouseholdId, HouseholdType], consumption: ConsumptionMap
+) -> None:
+    """Check consumption against true preferences (Section III).
+
+    A household may defect from its allocation but always consumes its
+    duration within its *true* window.
+
+    Raises:
+        IntervalError: When any constraint is violated.
+    """
+    for hid, interval in consumption.items():
+        if hid not in types:
+            raise IntervalError(f"consumption for unknown household {hid!r}")
+        true = types[hid].true_preference
+        if interval.length != true.duration:
+            raise IntervalError(
+                f"{hid!r} consumed {interval.length}h, preferred duration is "
+                f"{true.duration}h"
+            )
+        if not true.window.contains(interval):
+            raise IntervalError(
+                f"{hid!r} consumption {interval} outside true window {true.window}"
+            )

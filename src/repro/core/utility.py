@@ -1,0 +1,28 @@
+"""Quasilinear household utility (Eq. 8): valuation minus payment."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from .intervals import Interval
+from .types import HouseholdId, HouseholdType
+from .valuation import household_valuation
+
+
+def household_utility(
+    household: HouseholdType, allocation: Interval, payment: float
+) -> float:
+    """Eq. 8 for one household: ``U_i = V_i(tau_i, v_i, rho_i) - p_i``."""
+    return household_valuation(household, allocation) - payment
+
+
+def household_utilities(
+    types: Mapping[HouseholdId, HouseholdType],
+    allocation: Mapping[HouseholdId, Interval],
+    payments: Mapping[HouseholdId, float],
+) -> Dict[HouseholdId, float]:
+    """Eq. 8 for every household in a settled day."""
+    return {
+        hid: household_utility(types[hid], allocation[hid], payments[hid])
+        for hid in types
+    }

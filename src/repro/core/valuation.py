@@ -1,0 +1,60 @@
+"""Household valuation function (Eq. 3 and Section IV-B1 criteria).
+
+``V_i(tau, v, rho) = -rho/(2v) * tau**2 + rho * tau`` for ``tau in [0, v]``.
+
+The paper's four criteria, all satisfied by this concave quadratic:
+
+* increasing in ``tau`` up to ``tau = v``, constant thereafter;
+* increasing in ``v`` (the maximum ``rho*v/2`` grows with ``v``);
+* increasing in ``rho``;
+* nonincreasing marginal benefit of ``tau``.
+"""
+
+from __future__ import annotations
+
+from .intervals import Interval
+from .types import HouseholdType
+
+
+def valuation(tau: float, duration: int, valuation_factor: float) -> float:
+    """Evaluate Eq. 3.
+
+    Args:
+        tau: Hours of the allocation that fall inside the true window,
+            ``tau_i in [0, v_i]``.  Values above ``v`` are clamped (the
+            valuation is constant beyond the preferred duration).
+        duration: Preferred duration ``v_i >= 1``.
+        valuation_factor: Willingness-to-pay factor ``rho_i > 0``.
+
+    Returns:
+        The household's value (willingness to pay) for the allocation.
+    """
+    if duration < 1:
+        raise ValueError(f"duration must be >= 1, got {duration}")
+    if valuation_factor <= 0:
+        raise ValueError(f"valuation factor must be positive, got {valuation_factor}")
+    if tau < 0:
+        raise ValueError(f"tau cannot be negative, got {tau}")
+    tau = min(tau, float(duration))
+    return -valuation_factor / (2.0 * duration) * tau * tau + valuation_factor * tau
+
+
+def max_valuation(duration: int, valuation_factor: float) -> float:
+    """The maximum of Eq. 3, ``rho*v/2``, reached at ``tau = v``."""
+    return valuation(float(duration), duration, valuation_factor)
+
+
+def satisfied_hours(allocation: Interval, true_window: Interval) -> int:
+    """The paper's ``tau_i``: allocated hours inside the *true* window.
+
+    Per the Theorem 2 proof, ``tau`` is measured on the allocation, not the
+    realized consumption — a misreporter whose allocation misses its true
+    window gets no value from it even if it then defects back.
+    """
+    return allocation.overlap(true_window)
+
+
+def household_valuation(household: HouseholdType, allocation: Interval) -> float:
+    """Eq. 3 evaluated for a household's true type and an allocation."""
+    tau = satisfied_hours(allocation, household.true_preference.window)
+    return valuation(float(tau), household.duration, household.valuation_factor)

@@ -1,0 +1,82 @@
+"""Ablation: the payment scale factor xi (Eq. 7).
+
+Theorem 1's budget balance is ``(xi - 1) * kappa >= 0``; raising xi makes
+the center's surplus grow linearly while every household's utility falls
+by the same total.  This ablation sweeps xi and reports the surplus, mean
+household utility, and the fraction of households with negative utility —
+quantifying the individual-rationality erosion Theorem 4 predicts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.mechanism import EnkiMechanism
+from ..sim.profiles import ProfileGenerator, neighborhood_from_profiles
+from ..sim.results import format_table
+
+
+@dataclass
+class XiPoint:
+    """Aggregates for one xi value."""
+
+    xi: float
+    center_surplus: float
+    mean_utility: float
+    negative_utility_fraction: float
+
+
+@dataclass
+class XiAblationResult:
+    points: List[XiPoint]
+
+    def render(self) -> str:
+        return format_table(
+            ["xi", "center surplus ($)", "mean utility", "negative-utility share"],
+            [
+                (
+                    f"{p.xi:.2f}",
+                    f"{p.center_surplus:.1f}",
+                    f"{p.mean_utility:.2f}",
+                    f"{p.negative_utility_fraction:.0%}",
+                )
+                for p in self.points
+            ],
+        )
+
+
+def run(
+    xis: Sequence[float] = (1.0, 1.1, 1.2, 1.5, 2.0),
+    n_households: int = 30,
+    days: int = 5,
+    seed: Optional[int] = 2017,
+) -> XiAblationResult:
+    """Sweep xi over identical workloads."""
+    generator = ProfileGenerator()
+    points: List[XiPoint] = []
+    for xi in xis:
+        np_rng = np.random.default_rng(seed)
+        mechanism = EnkiMechanism(xi=xi)
+        surplus = 0.0
+        utilities: List[float] = []
+        for day in range(days):
+            profiles = generator.sample_population(np_rng, n_households)
+            neighborhood = neighborhood_from_profiles(profiles, "wide")
+            outcome = mechanism.run_day(neighborhood, rng=random.Random(day))
+            surplus += outcome.settlement.neighborhood_utility
+            utilities.extend(outcome.settlement.utilities.values())
+        points.append(
+            XiPoint(
+                xi=xi,
+                center_surplus=surplus / days,
+                mean_utility=sum(utilities) / len(utilities),
+                negative_utility_fraction=(
+                    sum(1 for u in utilities if u < 0) / len(utilities)
+                ),
+            )
+        )
+    return XiAblationResult(points=points)

@@ -1,0 +1,87 @@
+"""Extension experiment: do pre-coordinating coalitions help under Enki?
+
+The conclusion's future-work direction, made measurable: households form
+small coalitions, flatten their joint demand internally, and commit to
+zero-slack reports.  The experiment contrasts neighborhood cost and mean
+flexibility scores with plain truthful Enki across coalition sizes.
+
+Expected shape: coalition pre-commitment narrows the windows the center
+sees, so flexibility scores drop and the center loses scheduling freedom —
+coalitions rarely beat plain truthful reporting under Enki, which is
+precisely the incentive Property 1 is designed to create.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..extensions.coalitions import compare_with_plain_enki
+from ..sim.profiles import ProfileGenerator, neighborhood_from_profiles
+from ..sim.results import format_table
+
+
+@dataclass
+class CoalitionPoint:
+    """One (coalition size, population) aggregate."""
+
+    max_size: int
+    n_households: int
+    mean_cost_change: float
+    mean_flexibility_drop: float
+
+
+@dataclass
+class CoalitionResult:
+    points: List[CoalitionPoint]
+
+    def render(self) -> str:
+        return format_table(
+            ["max size", "n", "Δcost (coalition − plain)", "Δmean flexibility"],
+            [
+                (
+                    p.max_size,
+                    p.n_households,
+                    f"{p.mean_cost_change:+.1f}",
+                    f"{-p.mean_flexibility_drop:+.3f}",
+                )
+                for p in self.points
+            ],
+        )
+
+
+def run(
+    sizes: Sequence[int] = (2, 3, 5),
+    n_households: int = 30,
+    days: int = 5,
+    seed: Optional[int] = 2017,
+) -> CoalitionResult:
+    """Sweep coalition size caps over identical workloads."""
+    generator = ProfileGenerator()
+    points: List[CoalitionPoint] = []
+    for max_size in sizes:
+        np_rng = np.random.default_rng(seed)
+        cost_changes: List[float] = []
+        flexibility_drops: List[float] = []
+        for day in range(days):
+            profiles = generator.sample_population(np_rng, n_households)
+            neighborhood = neighborhood_from_profiles(profiles, "wide")
+            comparison = compare_with_plain_enki(
+                neighborhood, max_size=max_size, seed=day
+            )
+            cost_changes.append(comparison.cost_change)
+            flexibility_drops.append(
+                comparison.plain_mean_flexibility
+                - comparison.coalition_mean_flexibility
+            )
+        points.append(
+            CoalitionPoint(
+                max_size=max_size,
+                n_households=n_households,
+                mean_cost_change=sum(cost_changes) / days,
+                mean_flexibility_drop=sum(flexibility_drops) / days,
+            )
+        )
+    return CoalitionResult(points=points)

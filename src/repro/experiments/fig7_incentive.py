@@ -1,0 +1,102 @@
+"""Figure 7: utility of the first household over all reportable windows.
+
+Section VI-B setup: a neighborhood of N = 50.  The first household's
+narrow interval is (18, 20) and its wide interval is (16, 24); its *true*
+preference is the narrow interval and its valuation factor is 5.  Every
+other household's true preference is its narrow interval; their profiles
+are generated once and kept fixed.  With everyone else truthful, the first
+household's mean utility is evaluated for every window it could report
+inside its wide interval (10 repeats per candidate).
+
+Paper reading: the best response is the truthful report (18, 20) — the
+weak incentive-compatibility picture.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.intervals import Interval
+from ..core.mechanism import EnkiMechanism
+from ..core.types import HouseholdType, Neighborhood, Preference
+from ..sim.profiles import ProfileGenerator
+from ..sim.results import format_table
+from ..theory.bestresponse import BestResponseResult, best_response_sweep
+
+#: The probed household's id.
+TARGET = "hh00"
+
+#: Its Section VI-B type.
+TARGET_NARROW = (18, 20)
+TARGET_WIDE = (16, 24)
+TARGET_DURATION = 2
+TARGET_RHO = 5.0
+
+
+def build_neighborhood(
+    n_households: int = 50, seed: Optional[int] = 2017
+) -> Neighborhood:
+    """The fixed Figure 7 neighborhood (others' narrow windows as truths)."""
+    if n_households < 2:
+        raise ValueError(f"need at least 2 households, got {n_households}")
+    generator = ProfileGenerator()
+    np_rng = np.random.default_rng(seed)
+    profiles = generator.sample_population(np_rng, n_households)
+
+    households: List[HouseholdType] = [
+        HouseholdType(
+            TARGET,
+            Preference(Interval(*TARGET_NARROW), TARGET_DURATION),
+            valuation_factor=TARGET_RHO,
+        )
+    ]
+    for profile in profiles[1:]:
+        households.append(profile.as_household("narrow"))
+    return Neighborhood.of(*households)
+
+
+@dataclass
+class Fig7Result:
+    sweep: BestResponseResult
+
+    @property
+    def truthful_is_best(self) -> bool:
+        return self.sweep.truthful_is_best(tolerance=1e-9)
+
+    def render(self) -> str:
+        rows = [
+            (begin, end, f"{utility:.2f}",
+             "<- truthful" if (begin, end) == self.sweep.truthful_window else "")
+            for (begin, end), utility in sorted(self.sweep.utilities.items())
+        ]
+        table = format_table(["begin", "end", "mean utility", ""], rows)
+        footer = (
+            f"\nbest response: {self.sweep.best_window} "
+            f"(utility {self.sweep.best_utility:.2f}); "
+            f"truthful {self.sweep.truthful_window} "
+            f"(utility {self.sweep.truthful_utility:.2f}); "
+            f"regret {self.sweep.regret():.3f}"
+        )
+        return table + footer
+
+
+def run(
+    n_households: int = 50,
+    repeats: int = 10,
+    seed: Optional[int] = 2017,
+) -> Fig7Result:
+    """Regenerate Figure 7 from scratch."""
+    neighborhood = build_neighborhood(n_households, seed)
+    sweep = best_response_sweep(
+        neighborhood,
+        TARGET,
+        mechanism=EnkiMechanism(),
+        exploration=Interval(*TARGET_WIDE),
+        repeats=repeats,
+        seed=seed,
+    )
+    return Fig7Result(sweep=sweep)

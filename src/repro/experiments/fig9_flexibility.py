@@ -1,0 +1,78 @@
+"""Figure 9: flexibility ratio over the 16 rounds.
+
+The paper plots the flexibility ratio (submitted-within-true over true
+length) for two subjects who understood the game well (P7, P8) — frequent
+early defection, then locked to the exact true interval — plus the rising
+average of four intermediate-understanding subjects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..sim.results import format_table
+from ..userstudy.analysis import average_flexibility_series, flexibility_series
+from ..userstudy.treatments import StudyResult
+from .user_study_run import DEFAULT_STUDY_SEED, run_default_study
+
+
+@dataclass
+class Fig9Result:
+    good_series: Dict[int, List[float]]
+    intermediate_average: List[float]
+
+    @property
+    def good_lock_in(self) -> bool:
+        """P7/P8 pattern: well-understanding subjects end fully truthful."""
+        return all(
+            all(value >= 0.999 for value in series[-4:])
+            for series in self.good_series.values()
+        )
+
+    @property
+    def intermediate_trend(self) -> float:
+        """Cooperate-half mean minus Initial-half mean (paper: positive)."""
+        half = len(self.intermediate_average) // 2
+        first = sum(self.intermediate_average[:half]) / half
+        second = sum(self.intermediate_average[half:]) / (
+            len(self.intermediate_average) - half
+        )
+        return second - first
+
+    def render(self) -> str:
+        rounds = range(1, len(self.intermediate_average) + 1)
+        headers = ["round"] + [f"P{sid}" for sid in self.good_series] + [
+            "avg intermediate"
+        ]
+        rows = []
+        for index, round_number in enumerate(rounds):
+            rows.append(
+                (
+                    round_number,
+                    *(f"{series[index]:.2f}" for series in self.good_series.values()),
+                    f"{self.intermediate_average[index]:.2f}",
+                )
+            )
+        return format_table(headers, rows) + (
+            f"\nintermediate trend (late - early): {self.intermediate_trend:+.3f}"
+        )
+
+
+def extract(study: StudyResult, n_intermediate: int = 4) -> Fig9Result:
+    """Project a study run onto Figure 9."""
+    good = study.understanding_group("good")
+    intermediate = study.understanding_group("intermediate")[:n_intermediate]
+    if not good or not intermediate:
+        raise ValueError("study lacks the understanding groups Figure 9 plots")
+    return Fig9Result(
+        good_series={
+            record.study_subject_id: flexibility_series(record) for record in good
+        },
+        intermediate_average=average_flexibility_series(intermediate),
+    )
+
+
+def run(seed: Optional[int] = DEFAULT_STUDY_SEED) -> Fig9Result:
+    """Regenerate Figure 9 from scratch."""
+    return extract(run_default_study(seed))

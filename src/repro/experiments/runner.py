@@ -1,0 +1,89 @@
+"""Run every reproduction experiment and print the paper's rows/series.
+
+Exposes a registry mapping experiment ids (fig4 ... tab4, ablations) to
+callables, used by both the CLI and the end-to-end integration tests.
+Each experiment accepts keyword overrides so tests can run scaled-down
+versions; defaults regenerate the paper-scale artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from . import (
+    abl_scale,
+    ablation_decentralized,
+    ablation_ordering,
+    ablation_pricing,
+    ablation_xi,
+    baseline_landscape,
+    examples_section4,
+    ext_calculator,
+    ext_coalitions,
+    ext_conservation,
+    ext_forecast_market,
+    fig4_par,
+    fig5_cost,
+    fig6_time,
+    fig7_incentive,
+    fig8_true_interval,
+    fig9_flexibility,
+    table2_defection,
+    table3_mannwhitney,
+    table4_treatments,
+    vcg_contrast,
+    verify_properties,
+)
+
+#: Every experiment id, in the order the paper presents them.
+EXPERIMENTS: Dict[str, Callable] = {
+    "examples": examples_section4.run,
+    "fig4": fig4_par.run,
+    "fig5": fig5_cost.run,
+    "fig6": fig6_time.run,
+    "fig7": fig7_incentive.run,
+    "tab2": table2_defection.run,
+    "tab3": table3_mannwhitney.run,
+    "tab4": table4_treatments.run,
+    "fig8": fig8_true_interval.run,
+    "fig9": fig9_flexibility.run,
+    "abl-order": ablation_ordering.run,
+    "abl-xi": ablation_xi.run,
+    "abl-pricing": ablation_pricing.run,
+    "abl-decentralized": ablation_decentralized.run,
+    "ext-coalitions": ext_coalitions.run,
+    "ext-forecast-market": ext_forecast_market.run,
+    "ext-conservation": ext_conservation.run,
+    "ext-calculator": ext_calculator.run,
+    "abl-scale": abl_scale.run,
+    "baselines": baseline_landscape.run,
+    "vcg": vcg_contrast.run,
+    "verify": verify_properties.run,
+}
+
+
+@dataclass
+class ExperimentReport:
+    """One experiment's id and rendered output."""
+
+    experiment_id: str
+    rendered: str
+
+
+def run_experiment(experiment_id: str, **overrides) -> ExperimentReport:
+    """Run one experiment by id and render its table."""
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; pick from {sorted(EXPERIMENTS)}"
+        )
+    result = EXPERIMENTS[experiment_id](**overrides)
+    return ExperimentReport(experiment_id=experiment_id, rendered=result.render())
+
+
+def run_all(
+    experiment_ids: Optional[List[str]] = None, **overrides
+) -> List[ExperimentReport]:
+    """Run several experiments (all by default) and collect their reports."""
+    ids = experiment_ids if experiment_ids is not None else list(EXPERIMENTS)
+    return [run_experiment(experiment_id, **overrides) for experiment_id in ids]

@@ -1,0 +1,55 @@
+"""Table II: average defection rate of 20 subjects per stage.
+
+Paper values: Overall 0.2049, Initial 0.3625, Defect 0.2938, Cooperate
+0.125 — defection is low overall, highest while learning (Initial), and
+lowest once all artificial agents cooperate (Cooperate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..sim.results import format_table
+from ..userstudy.analysis import STAGE_ORDER, average_defection_rates
+from ..userstudy.treatments import StudyResult
+from .user_study_run import DEFAULT_STUDY_SEED, run_default_study
+
+#: The paper's Table II, for side-by-side comparison.
+PAPER_TABLE2 = {
+    "Overall": 0.2049,
+    "Initial": 0.3625,
+    "Defect": 0.2938,
+    "Cooperate": 0.125,
+}
+
+
+@dataclass
+class Table2Result:
+    rates: Dict[str, float]
+
+    @property
+    def ordering_holds(self) -> bool:
+        """The paper's qualitative shape: Initial > Defect > Cooperate."""
+        return (
+            self.rates["Initial"] >= self.rates["Defect"] >= self.rates["Cooperate"]
+        )
+
+    def render(self) -> str:
+        return format_table(
+            ["stage", "measured", "paper"],
+            [
+                (stage, f"{self.rates[stage]:.4f}", f"{PAPER_TABLE2[stage]:.4f}")
+                for stage in STAGE_ORDER
+            ],
+        )
+
+
+def extract(study: StudyResult) -> Table2Result:
+    """Project a study run onto Table II."""
+    return Table2Result(rates=average_defection_rates(study))
+
+
+def run(seed: Optional[int] = DEFAULT_STUDY_SEED) -> Table2Result:
+    """Regenerate Table II from scratch."""
+    return extract(run_default_study(seed))

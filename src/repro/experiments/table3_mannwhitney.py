@@ -1,0 +1,63 @@
+"""Table III: Mann-Whitney U test that Enki prevents defection.
+
+Per stage, Sample 1 is each subject's defection count and Sample 2 assumes
+random (coin-flip) defection — every element is half the stage's rounds.
+Paper p-values: Overall < 0.0001, Initial 0.0532 (not significant), Defect
+0.0078, Cooperate < 0.0001.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..sim.results import format_table
+from ..stats.mannwhitney import MannWhitneyResult
+from ..userstudy.analysis import STAGE_ORDER, defection_mann_whitney, stage_rounds
+from ..userstudy.treatments import StudyResult
+from .user_study_run import DEFAULT_STUDY_SEED, run_default_study
+
+#: The paper's Table III p-values (upper bounds where it reports "<").
+PAPER_TABLE3 = {
+    "Overall": 0.0001,
+    "Initial": 0.0532,
+    "Defect": 0.0078,
+    "Cooperate": 0.0001,
+}
+
+#: Stages the paper found significant at the 5% level.
+PAPER_SIGNIFICANT = {"Overall": True, "Initial": False, "Defect": True, "Cooperate": True}
+
+
+@dataclass
+class Table3Result:
+    tests: Dict[str, MannWhitneyResult]
+
+    def significant(self, stage: str, alpha: float = 0.05) -> bool:
+        return self.tests[stage].p_value < alpha
+
+    def render(self) -> str:
+        return format_table(
+            ["stage", "sample2 element", "U", "p-value", "paper p", "significant"],
+            [
+                (
+                    stage,
+                    f"{stage_rounds(stage) / 2:.0f}",
+                    f"{self.tests[stage].u_statistic:.1f}",
+                    f"{self.tests[stage].p_value:.4g}",
+                    f"{PAPER_TABLE3[stage]:.4g}",
+                    "yes" if self.significant(stage) else "no",
+                )
+                for stage in STAGE_ORDER
+            ],
+        )
+
+
+def extract(study: StudyResult) -> Table3Result:
+    """Project a study run onto Table III."""
+    return Table3Result(tests=defection_mann_whitney(study))
+
+
+def run(seed: Optional[int] = DEFAULT_STUDY_SEED) -> Table3Result:
+    """Regenerate Table III from scratch."""
+    return extract(run_default_study(seed))

@@ -1,0 +1,60 @@
+"""Table IV: average defection rate per treatment per stage.
+
+Paper values: T1 — Overall 0.23, Initial 0.34, Defect 0.31, Cooperate
+0.15; T2 — Overall 0.14, Initial 0.44, Defect 0.25, Cooperate 0.03.
+Reading: solo subjects (T2, facing only cooperating agents during
+Cooperate) defect markedly less by the end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..sim.results import format_table
+from ..userstudy.analysis import STAGE_ORDER, treatment_defection_rates
+from ..userstudy.treatments import StudyResult
+from .user_study_run import DEFAULT_STUDY_SEED, run_default_study
+
+#: The paper's Table IV.
+PAPER_TABLE4 = {
+    1: {"Overall": 0.23, "Initial": 0.34, "Defect": 0.31, "Cooperate": 0.15},
+    2: {"Overall": 0.14, "Initial": 0.44, "Defect": 0.25, "Cooperate": 0.03},
+}
+
+
+@dataclass
+class Table4Result:
+    rates: Dict[int, Dict[str, float]]
+
+    @property
+    def cooperate_gap(self) -> float:
+        """T1 minus T2 Cooperate-stage defection (paper: positive)."""
+        return self.rates[1]["Cooperate"] - self.rates[2]["Cooperate"]
+
+    def render(self) -> str:
+        rows = []
+        for treatment in (1, 2):
+            rows.append(
+                (
+                    f"T{treatment}",
+                    *(f"{self.rates[treatment][stage]:.2f}" for stage in STAGE_ORDER),
+                    *(f"{PAPER_TABLE4[treatment][stage]:.2f}" for stage in STAGE_ORDER),
+                )
+            )
+        return format_table(
+            ["treatment"]
+            + [f"{stage}" for stage in STAGE_ORDER]
+            + [f"paper {stage}" for stage in STAGE_ORDER],
+            rows,
+        )
+
+
+def extract(study: StudyResult) -> Table4Result:
+    """Project a study run onto Table IV."""
+    return Table4Result(rates=treatment_defection_rates(study))
+
+
+def run(seed: Optional[int] = DEFAULT_STUDY_SEED) -> Table4Result:
+    """Regenerate Table IV from scratch."""
+    return extract(run_default_study(seed))

@@ -1,0 +1,20 @@
+"""Shared driver for the Section VII user-study reproductions.
+
+Tables II-IV and Figures 8-9 all analyze one study run (20 simulated
+subjects, two treatments, four sessions each); this module runs it once
+and caches nothing — each experiment entry point may pass its own seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..userstudy.treatments import StudyResult, run_study
+
+#: Default master seed for study reproductions.
+DEFAULT_STUDY_SEED = 1720
+
+
+def run_default_study(seed: Optional[int] = DEFAULT_STUDY_SEED) -> StudyResult:
+    """One full study with the paper's subject mix and session design."""
+    return run_study(seed=seed)

@@ -1,0 +1,42 @@
+"""Extensions the paper sketches but does not evaluate.
+
+* :mod:`repro.extensions.appliances` — multi-appliance households with a
+  flat nonshiftable base charge (Section III's "easily extended" note).
+* :mod:`repro.extensions.coalitions` — small household coalitions that
+  pre-flatten their joint demand before reporting (the conclusion's
+  future-work direction).
+"""
+
+from .appliances import (
+    ApplianceRequest,
+    HouseholdBill,
+    MultiApplianceEnki,
+    MultiApplianceHousehold,
+    MultiApplianceOutcome,
+    expand,
+    owner_of,
+    pseudo_household_id,
+)
+from .coalitions import Coalition, CoalitionEnki, greedy_coalitions
+from .conservation import (
+    ConservationDay,
+    ConservationEnki,
+    conservation_summary,
+)
+
+__all__ = [
+    "ApplianceRequest",
+    "MultiApplianceHousehold",
+    "MultiApplianceEnki",
+    "MultiApplianceOutcome",
+    "HouseholdBill",
+    "expand",
+    "owner_of",
+    "pseudo_household_id",
+    "Coalition",
+    "CoalitionEnki",
+    "greedy_coalitions",
+    "ConservationDay",
+    "ConservationEnki",
+    "conservation_summary",
+]

@@ -1,0 +1,179 @@
+"""Multi-appliance households (the Section III extension).
+
+The paper simplifies each household to a single shiftable load but notes
+the model "can be easily extended to a more concrete scenario by
+considering several such preferences for a given household and adding a
+constant cost to each household's payment."  This module implements that
+extension: a household declares one preference per shiftable appliance
+(plus an optional nonshiftable base load billed at a flat charge); each
+appliance becomes a pseudo-household for allocation and scoring, and the
+settlement is re-aggregated per real household.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.mechanism import DayOutcome, EnkiMechanism
+from ..core.types import (
+    HouseholdId,
+    HouseholdType,
+    Neighborhood,
+    Preference,
+)
+
+#: Separator between household and appliance in pseudo-household ids.
+ID_SEPARATOR = "::"
+
+
+@dataclass(frozen=True)
+class ApplianceRequest:
+    """One shiftable appliance's demand for the next day."""
+
+    name: str
+    preference: Preference
+    rating_kw: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("appliance name cannot be empty")
+        if ID_SEPARATOR in self.name:
+            raise ValueError(f"appliance name may not contain {ID_SEPARATOR!r}")
+        if self.rating_kw <= 0:
+            raise ValueError(f"rating must be positive, got {self.rating_kw}")
+
+
+@dataclass(frozen=True)
+class MultiApplianceHousehold:
+    """A household with several shiftable appliances and a base charge.
+
+    Attributes:
+        household_id: The real household's id.
+        appliances: One request per shiftable appliance.
+        valuation_factor: Shared willingness-to-pay factor ``rho``.
+        base_charge: Flat fee covering nonshiftable loads (the paper's
+            "constant cost" added to the payment).
+    """
+
+    household_id: HouseholdId
+    appliances: Tuple[ApplianceRequest, ...]
+    valuation_factor: float
+    base_charge: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.appliances:
+            raise ValueError(f"{self.household_id!r} needs at least one appliance")
+        names = [appliance.name for appliance in self.appliances]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate appliance names for {self.household_id!r}")
+        if ID_SEPARATOR in self.household_id:
+            raise ValueError(f"household id may not contain {ID_SEPARATOR!r}")
+        if self.base_charge < 0:
+            raise ValueError(f"base charge cannot be negative, got {self.base_charge}")
+
+    @staticmethod
+    def of(
+        household_id: HouseholdId,
+        valuation_factor: float,
+        *appliances: ApplianceRequest,
+        base_charge: float = 0.0,
+    ) -> "MultiApplianceHousehold":
+        return MultiApplianceHousehold(
+            household_id=household_id,
+            appliances=tuple(appliances),
+            valuation_factor=valuation_factor,
+            base_charge=base_charge,
+        )
+
+
+def pseudo_household_id(household_id: HouseholdId, appliance: str) -> HouseholdId:
+    """The allocation-level id of one appliance."""
+    return f"{household_id}{ID_SEPARATOR}{appliance}"
+
+
+def owner_of(pseudo_id: HouseholdId) -> HouseholdId:
+    """The real household behind a pseudo-household id."""
+    owner, separator, _ = pseudo_id.partition(ID_SEPARATOR)
+    if not separator:
+        raise ValueError(f"{pseudo_id!r} is not a pseudo-household id")
+    return owner
+
+
+def expand(households: Sequence[MultiApplianceHousehold]) -> Neighborhood:
+    """One pseudo-household per appliance, sharing the owner's rho."""
+    ids = [hh.household_id for hh in households]
+    if len(set(ids)) != len(ids):
+        raise ValueError(f"duplicate household ids: {ids}")
+    pseudo: List[HouseholdType] = []
+    for household in households:
+        for appliance in household.appliances:
+            pseudo.append(
+                HouseholdType(
+                    household_id=pseudo_household_id(
+                        household.household_id, appliance.name
+                    ),
+                    true_preference=appliance.preference,
+                    valuation_factor=household.valuation_factor,
+                    rating_kw=appliance.rating_kw,
+                )
+            )
+    return Neighborhood.of(*pseudo)
+
+
+@dataclass
+class HouseholdBill:
+    """A real household's aggregated settlement."""
+
+    payment: float
+    valuation: float
+    utility: float
+    per_appliance_payment: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class MultiApplianceOutcome:
+    """A settled multi-appliance day."""
+
+    day: DayOutcome
+    bills: Dict[HouseholdId, HouseholdBill]
+
+    @property
+    def total_cost(self) -> float:
+        return self.day.settlement.total_cost
+
+
+class MultiApplianceEnki:
+    """Enki over appliance-level preferences with per-household billing."""
+
+    def __init__(self, mechanism: Optional[EnkiMechanism] = None) -> None:
+        self.mechanism = mechanism if mechanism is not None else EnkiMechanism()
+
+    def run_day(
+        self,
+        households: Sequence[MultiApplianceHousehold],
+        rng: Optional[random.Random] = None,
+    ) -> MultiApplianceOutcome:
+        """Allocate every appliance, settle, and aggregate per household."""
+        neighborhood = expand(households)
+        outcome = self.mechanism.run_day(neighborhood, rng=rng)
+        settlement = outcome.settlement
+
+        bills: Dict[HouseholdId, HouseholdBill] = {}
+        base_charges = {hh.household_id: hh.base_charge for hh in households}
+        for household in households:
+            bills[household.household_id] = HouseholdBill(
+                payment=base_charges[household.household_id],
+                valuation=0.0,
+                utility=-base_charges[household.household_id],
+            )
+        for pseudo_id, payment in settlement.payments.items():
+            owner = owner_of(pseudo_id)
+            _, _, appliance = pseudo_id.partition(ID_SEPARATOR)
+            bill = bills[owner]
+            bill.payment += payment
+            bill.valuation += settlement.valuations[pseudo_id]
+            bill.utility += settlement.utilities[pseudo_id]
+            bill.per_appliance_payment[appliance] = payment
+        return MultiApplianceOutcome(day=outcome, bills=bills)

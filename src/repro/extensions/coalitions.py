@@ -1,0 +1,189 @@
+"""Household coalitions (the conclusion's future-work direction).
+
+The paper closes with: "we will ... consider direct cooperation among
+households forming small coalitions to reduce their joint peak demand
+further."  This module implements a concrete version:
+
+1. households with overlapping true windows are grouped greedily into
+   coalitions of bounded size;
+2. each coalition pre-coordinates internally — a greedy pass schedules its
+   members' blocks within their true windows so the *joint* coalition load
+   is flat;
+3. members then report their internally assigned block as a zero-slack
+   window (a commitment), and Enki runs as usual.
+
+The interesting question — answered empirically by
+:func:`compare_with_plain_enki` and the coalition tests — is whether such
+pre-coordination helps: it flattens the coalition's joint demand but
+narrows the windows the center sees, lowering members' flexibility scores,
+exactly the tension Enki's payment rule creates for strategic narrowing.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.intervals import HOURS_PER_DAY, Interval
+from ..core.mechanism import DayOutcome, EnkiMechanism, truthful_reports
+from ..core.types import (
+    HouseholdId,
+    Neighborhood,
+    Preference,
+    Report,
+)
+from ..pricing.quadratic import QuadraticPricing
+
+
+@dataclass(frozen=True)
+class Coalition:
+    """A group of households that pre-coordinate their schedules."""
+
+    members: Tuple[HouseholdId, ...]
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise ValueError("a coalition needs at least one member")
+        if len(set(self.members)) != len(self.members):
+            raise ValueError(f"duplicate members: {self.members}")
+
+
+def greedy_coalitions(
+    neighborhood: Neighborhood, max_size: int = 3
+) -> List[Coalition]:
+    """Group households with overlapping true windows, size-capped.
+
+    Households are scanned by window start; each joins the open coalition
+    whose members' windows it overlaps most, else starts a new one.
+    """
+    if max_size < 1:
+        raise ValueError(f"max_size must be >= 1, got {max_size}")
+    ordered = sorted(
+        neighborhood, key=lambda hh: (hh.true_preference.begin, hh.household_id)
+    )
+    groups: List[List[HouseholdId]] = []
+    windows: List[Interval] = []  # running hull per group
+    for household in ordered:
+        window = household.true_preference.window
+        best_group, best_overlap = None, 0
+        for index, hull in enumerate(windows):
+            if len(groups[index]) >= max_size:
+                continue
+            overlap = hull.overlap(window)
+            if overlap > best_overlap:
+                best_group, best_overlap = index, overlap
+        if best_group is None:
+            groups.append([household.household_id])
+            windows.append(window)
+        else:
+            groups[best_group].append(household.household_id)
+            hull = windows[best_group]
+            windows[best_group] = Interval(
+                min(hull.start, window.start), max(hull.end, window.end)
+            )
+    return [Coalition(tuple(group)) for group in groups]
+
+
+def _internal_schedule(
+    neighborhood: Neighborhood, coalition: Coalition
+) -> Dict[HouseholdId, Interval]:
+    """Greedy flattening of the coalition's joint load (true windows)."""
+    loads = np.zeros(HOURS_PER_DAY, dtype=float)
+    schedule: Dict[HouseholdId, Interval] = {}
+    # Most constrained member first, same principle as Enki's greedy.
+    members = sorted(
+        coalition.members,
+        key=lambda hid: neighborhood[hid].true_preference.slack,
+    )
+    for hid in members:
+        household = neighborhood[hid]
+        window = household.true_preference.window
+        duration = household.duration
+        window_loads = loads[window.start:window.end]
+        sums = np.convolve(window_loads, np.ones(duration), mode="valid")
+        begin = window.start + int(np.argmin(sums))
+        block = Interval(begin, begin + duration)
+        schedule[hid] = block
+        loads[block.start:block.end] += household.rating_kw
+    return schedule
+
+
+class CoalitionEnki:
+    """Enki where coalition members report pre-coordinated zero-slack windows."""
+
+    def __init__(
+        self,
+        mechanism: Optional[EnkiMechanism] = None,
+        max_size: int = 3,
+    ) -> None:
+        self.mechanism = mechanism if mechanism is not None else EnkiMechanism()
+        self.max_size = max_size
+
+    def coalition_reports(
+        self, neighborhood: Neighborhood, coalitions: Sequence[Coalition]
+    ) -> Dict[HouseholdId, Report]:
+        """Each member commits to its internally assigned block."""
+        reports: Dict[HouseholdId, Report] = {}
+        for coalition in coalitions:
+            schedule = _internal_schedule(neighborhood, coalition)
+            for hid, block in schedule.items():
+                duration = neighborhood[hid].duration
+                reports[hid] = Report(hid, Preference(block, duration))
+        missing = set(neighborhood.ids()) - set(reports)
+        if missing:
+            raise ValueError(f"coalitions do not cover households: {sorted(missing)}")
+        return reports
+
+    def run_day(
+        self,
+        neighborhood: Neighborhood,
+        coalitions: Optional[Sequence[Coalition]] = None,
+        rng: Optional[random.Random] = None,
+    ) -> DayOutcome:
+        """One Enki day under coalition reporting."""
+        if coalitions is None:
+            coalitions = greedy_coalitions(neighborhood, self.max_size)
+        reports = self.coalition_reports(neighborhood, coalitions)
+        return self.mechanism.run_day(neighborhood, reports, rng=rng)
+
+
+@dataclass
+class CoalitionComparison:
+    """Plain truthful Enki vs coalition-reporting Enki on the same day."""
+
+    plain_cost: float
+    coalition_cost: float
+    plain_mean_flexibility: float
+    coalition_mean_flexibility: float
+
+    @property
+    def cost_change(self) -> float:
+        """Positive when coalitions *raised* the neighborhood cost."""
+        return self.coalition_cost - self.plain_cost
+
+
+def compare_with_plain_enki(
+    neighborhood: Neighborhood,
+    max_size: int = 3,
+    seed: Optional[int] = None,
+) -> CoalitionComparison:
+    """Run both regimes on one day and compare cost and flexibility."""
+    mechanism = EnkiMechanism()
+    plain = mechanism.run_day(neighborhood, rng=random.Random(seed))
+    coalition = CoalitionEnki(mechanism, max_size).run_day(
+        neighborhood, rng=random.Random(seed)
+    )
+
+    def mean_flex(outcome: DayOutcome) -> float:
+        scores = outcome.settlement.flexibility
+        return sum(scores.values()) / len(scores)
+
+    return CoalitionComparison(
+        plain_cost=plain.settlement.total_cost,
+        coalition_cost=coalition.settlement.total_cost,
+        plain_mean_flexibility=mean_flex(plain),
+        coalition_mean_flexibility=mean_flex(coalition),
+    )

@@ -1,0 +1,132 @@
+"""Conservation: reducing aggregate demand, not just shifting it.
+
+The paper's closing sentence: "we are interested in approaches that not
+only reduce peak demand but reduce aggregate demand (i.e., save power not
+just shift load)."  This extension models the participation margin that
+makes conservation possible: each household's load is *optional* — it
+runs only if the household's expected utility from running it is
+positive.  Enki's peak-tracking payments then do double duty: they shift
+the loads that run, and price out the loads whose owners value them less
+than the congestion they cause.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.mechanism import DayOutcome, EnkiMechanism, truthful_reports
+from ..core.types import HouseholdId, Neighborhood
+from ..core.valuation import max_valuation
+
+
+@dataclass
+class ConservationDay:
+    """One settled day with a participation decision per household."""
+
+    participants: List[HouseholdId]
+    abstainers: List[HouseholdId]
+    outcome: Optional[DayOutcome]
+
+    @property
+    def served_energy_kwh(self) -> float:
+        if self.outcome is None:
+            return 0.0
+        return self.outcome.settlement.load_profile.total_energy_kwh
+
+    @property
+    def abstention_rate(self) -> float:
+        total = len(self.participants) + len(self.abstainers)
+        if total == 0:
+            return 0.0
+        return len(self.abstainers) / total
+
+
+class ConservationEnki:
+    """Enki with an opt-out margin (see module docstring).
+
+    The participation decision iterates to a fixed point: starting from
+    everyone in, each pass simulates the day, drops households whose
+    utility is negative by more than ``tolerance``, and repeats (fewer
+    participants mean a lower peak and lower payments, so some marginal
+    households return in later passes only if they were never dropped —
+    the iteration is monotone and terminates).
+
+    Args:
+        mechanism: The underlying Enki instance.
+        tolerance: Utility slack before a household opts out; 0 models
+            fully rational participation.
+        max_passes: Safety cap on fixed-point iterations.
+    """
+
+    def __init__(
+        self,
+        mechanism: Optional[EnkiMechanism] = None,
+        tolerance: float = 0.0,
+        max_passes: int = 10,
+    ) -> None:
+        if tolerance < 0:
+            raise ValueError(f"tolerance cannot be negative, got {tolerance}")
+        if max_passes < 1:
+            raise ValueError(f"max_passes must be >= 1, got {max_passes}")
+        self.mechanism = mechanism if mechanism is not None else EnkiMechanism()
+        self.tolerance = tolerance
+        self.max_passes = max_passes
+
+    def run_day(
+        self,
+        neighborhood: Neighborhood,
+        rng: Optional[random.Random] = None,
+    ) -> ConservationDay:
+        """Settle a day after the participation fixed point."""
+        rng = rng if rng is not None else random.Random()
+        participants = list(neighborhood.ids())
+        outcome: Optional[DayOutcome] = None
+
+        for _ in range(self.max_passes):
+            if not participants:
+                outcome = None
+                break
+            sub_neighborhood = Neighborhood.of(
+                *(neighborhood[hid] for hid in participants)
+            )
+            outcome = self.mechanism.run_day(
+                sub_neighborhood, rng=random.Random(rng.randrange(2**63))
+            )
+            dropouts = [
+                hid
+                for hid in participants
+                if outcome.settlement.utilities[hid] < -self.tolerance
+            ]
+            if not dropouts:
+                break
+            # Drop the single most underwater household and re-evaluate:
+            # removing load lowers everyone's payments, so dropping all at
+            # once over-conserves.
+            worst = min(dropouts, key=lambda hid: outcome.settlement.utilities[hid])
+            participants.remove(worst)
+
+        abstainers = [hid for hid in neighborhood.ids() if hid not in participants]
+        return ConservationDay(
+            participants=participants, abstainers=abstainers, outcome=outcome
+        )
+
+
+def conservation_summary(
+    neighborhood: Neighborhood,
+    xis: Tuple[float, ...] = (1.0, 1.2, 1.5, 2.0),
+    seed: Optional[int] = None,
+) -> Dict[float, ConservationDay]:
+    """Aggregate-demand response to the billing scale xi.
+
+    Raising xi raises every bill proportionally, so more marginal
+    households opt out — the knob a conservation-minded operator would
+    turn.  Returns the settled day per xi.
+    """
+    results: Dict[float, ConservationDay] = {}
+    for xi in xis:
+        mechanism = EnkiMechanism(xi=xi)
+        conserving = ConservationEnki(mechanism)
+        results[xi] = conserving.run_day(neighborhood, rng=random.Random(seed))
+    return results

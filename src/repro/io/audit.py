@@ -1,0 +1,113 @@
+"""Structured audit trail for simulation runs (JSONL event log).
+
+A deployed neighborhood center must be auditable: every report,
+allocation and settlement is appended to a line-delimited JSON log that a
+regulator (or a unit test) can replay and verify — for instance, that
+Theorem 1's budget identity held on every settled day.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional
+
+from ..core.mechanism import DayOutcome
+from .serialize import SCHEMA_VERSION, day_outcome_to_dict
+
+
+@dataclass(frozen=True)
+class AuditEvent:
+    """One logged event: a kind, a day index and a payload."""
+
+    kind: str
+    day: int
+    payload: Dict[str, Any]
+
+
+class AuditLog:
+    """Append-only JSONL event log.
+
+    Args:
+        path: Log file; appended to if it exists.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def append(self, event: AuditEvent) -> None:
+        """Append one event as a JSON line."""
+        record = {
+            "schema_version": SCHEMA_VERSION,
+            "kind": event.kind,
+            "day": event.day,
+            "payload": event.payload,
+        }
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def log_day(self, day: int, outcome: DayOutcome) -> None:
+        """Archive a full settled day as a ``day_settled`` event."""
+        self.append(
+            AuditEvent(kind="day_settled", day=day, payload=day_outcome_to_dict(outcome))
+        )
+
+    def events(self, kind: Optional[str] = None) -> Iterator[AuditEvent]:
+        """Replay the log (optionally filtered by event kind)."""
+        try:
+            handle = open(self.path, "r", encoding="utf-8")
+        except FileNotFoundError:
+            return
+        with handle:
+            for line in handle:
+                if not line.strip():
+                    continue
+                record = json.loads(line)
+                if kind is not None and record.get("kind") != kind:
+                    continue
+                yield AuditEvent(
+                    kind=record["kind"],
+                    day=int(record["day"]),
+                    payload=record.get("payload", {}),
+                )
+
+
+@dataclass
+class AuditSummary:
+    """Aggregate view of a replayed audit log."""
+
+    days: int
+    total_cost: float
+    total_revenue: float
+    total_defections: int
+    budget_balanced_every_day: bool
+
+
+def summarize_audit(log: AuditLog) -> AuditSummary:
+    """Replay ``day_settled`` events and verify the standing invariants."""
+    days = 0
+    total_cost = 0.0
+    total_revenue = 0.0
+    defections = 0
+    balanced = True
+    for event in log.events(kind="day_settled"):
+        days += 1
+        settlement = event.payload["settlement"]
+        cost = float(settlement["total_cost"])
+        revenue = sum(float(v) for v in settlement["payments"].values())
+        total_cost += cost
+        total_revenue += revenue
+        if revenue < cost - 1e-6:
+            balanced = False
+        allocation = event.payload["allocation"]
+        consumption = event.payload["consumption"]
+        defections += sum(
+            1 for hid in allocation if allocation[hid] != consumption[hid]
+        )
+    return AuditSummary(
+        days=days,
+        total_cost=total_cost,
+        total_revenue=total_revenue,
+        total_defections=defections,
+        budget_balanced_every_day=balanced,
+    )

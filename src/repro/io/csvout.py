@@ -1,0 +1,70 @@
+"""CSV export for experiment results.
+
+Every experiment result renders an aligned text table for humans; this
+module writes the same rows as CSV for spreadsheets and plotting scripts.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, Sequence
+
+
+def rows_to_csv(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render headers + rows as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(list(headers))
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} does not match headers {len(headers)}"
+            )
+        writer.writerow(list(row))
+    return buffer.getvalue()
+
+
+def write_csv(
+    path: str, headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> None:
+    """Write headers + rows to a CSV file."""
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        handle.write(rows_to_csv(headers, rows))
+
+
+def table_text_to_csv(rendered: str) -> str:
+    """Convert a ``format_table`` rendering back into CSV.
+
+    The aligned tables use two-space column gaps and a dashed rule on the
+    second line; this inverse is handy for exporting saved experiment
+    outputs without re-running them.
+    """
+    lines = [line for line in rendered.splitlines() if line.strip()]
+    if len(lines) < 2 or not set(lines[1].replace(" ", "")) <= {"-"}:
+        raise ValueError("text does not look like a format_table rendering")
+    # Column boundaries come from the dashed rule: dashes mark columns.
+    rule = lines[1]
+    spans = []
+    start = None
+    for index, char in enumerate(rule):
+        if char == "-" and start is None:
+            start = index
+        elif char == " " and start is not None:
+            spans.append((start, index))
+            start = None
+    if start is not None:
+        spans.append((start, len(rule)))
+
+    def cells(line: str) -> list:
+        out = []
+        for begin, end in spans:
+            out.append(line[begin:end].strip() if begin < len(line) else "")
+        # The final column may extend past the rule width.
+        if spans and len(line) > spans[-1][1]:
+            out[-1] = line[spans[-1][0]:].strip()
+        return out
+
+    headers = cells(lines[0])
+    rows = [cells(line) for line in lines[2:]]
+    return rows_to_csv(headers, rows)

@@ -1,0 +1,187 @@
+"""JSON serialization of the domain objects.
+
+A production DSM deployment persists its neighborhoods, reports and
+settled days; this module provides explicit, versioned dict round-trips
+for the core types (no pickle — the formats are stable, diffable JSON).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Mapping
+
+from ..core.intervals import Interval
+from ..core.mechanism import DayOutcome, Settlement
+from ..core.types import (
+    HouseholdId,
+    HouseholdType,
+    Neighborhood,
+    Preference,
+    Report,
+)
+
+#: Format version embedded in every serialized document.
+SCHEMA_VERSION = 1
+
+
+class SerializationError(ValueError):
+    """Raised when a document cannot be decoded."""
+
+
+def _require(document: Mapping[str, Any], key: str) -> Any:
+    if key not in document:
+        raise SerializationError(f"missing key {key!r} in {sorted(document)}")
+    return document[key]
+
+
+# ------------------------------------------------------------------ intervals
+
+def interval_to_dict(interval: Interval) -> Dict[str, int]:
+    return {"start": interval.start, "end": interval.end}
+
+
+def interval_from_dict(document: Mapping[str, Any]) -> Interval:
+    return Interval(int(_require(document, "start")), int(_require(document, "end")))
+
+
+# ---------------------------------------------------------------- preferences
+
+def preference_to_dict(preference: Preference) -> Dict[str, Any]:
+    return {
+        "window": interval_to_dict(preference.window),
+        "duration": preference.duration,
+    }
+
+
+def preference_from_dict(document: Mapping[str, Any]) -> Preference:
+    return Preference(
+        interval_from_dict(_require(document, "window")),
+        int(_require(document, "duration")),
+    )
+
+
+# ----------------------------------------------------------------- households
+
+def household_to_dict(household: HouseholdType) -> Dict[str, Any]:
+    return {
+        "household_id": household.household_id,
+        "true_preference": preference_to_dict(household.true_preference),
+        "valuation_factor": household.valuation_factor,
+        "rating_kw": household.rating_kw,
+    }
+
+
+def household_from_dict(document: Mapping[str, Any]) -> HouseholdType:
+    return HouseholdType(
+        household_id=str(_require(document, "household_id")),
+        true_preference=preference_from_dict(_require(document, "true_preference")),
+        valuation_factor=float(_require(document, "valuation_factor")),
+        rating_kw=float(document.get("rating_kw", 2.0)),
+    )
+
+
+def neighborhood_to_dict(neighborhood: Neighborhood) -> Dict[str, Any]:
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "households": [household_to_dict(hh) for hh in neighborhood],
+    }
+
+
+def neighborhood_from_dict(document: Mapping[str, Any]) -> Neighborhood:
+    version = document.get("schema_version", SCHEMA_VERSION)
+    if version != SCHEMA_VERSION:
+        raise SerializationError(f"unsupported schema version {version}")
+    return Neighborhood.of(
+        *(household_from_dict(item) for item in _require(document, "households"))
+    )
+
+
+# -------------------------------------------------------------------- reports
+
+def report_to_dict(report: Report) -> Dict[str, Any]:
+    return {
+        "household_id": report.household_id,
+        "preference": preference_to_dict(report.preference),
+    }
+
+
+def report_from_dict(document: Mapping[str, Any]) -> Report:
+    return Report(
+        str(_require(document, "household_id")),
+        preference_from_dict(_require(document, "preference")),
+    )
+
+
+# ------------------------------------------------------------------- outcomes
+
+def settlement_to_dict(settlement: Settlement) -> Dict[str, Any]:
+    return {
+        "total_cost": settlement.total_cost,
+        "flexibility": dict(settlement.flexibility),
+        "defection": dict(settlement.defection),
+        "social_cost": dict(settlement.social_cost),
+        "payments": dict(settlement.payments),
+        "valuations": dict(settlement.valuations),
+        "utilities": dict(settlement.utilities),
+        "overlap_fractions": dict(settlement.overlap_fractions),
+        "neighborhood_utility": settlement.neighborhood_utility,
+        "load_profile": list(settlement.load_profile.as_array()),
+    }
+
+
+def day_outcome_to_dict(outcome: DayOutcome) -> Dict[str, Any]:
+    """Serialize a settled day (one-way: enough to archive and audit).
+
+    The allocation result's solver diagnostics are preserved; reloading a
+    full ``DayOutcome`` object is intentionally not offered — archived
+    days are data, not live mechanism state.
+    """
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "reports": {
+            hid: report_to_dict(report) for hid, report in outcome.reports.items()
+        },
+        "allocation": {
+            hid: interval_to_dict(interval)
+            for hid, interval in outcome.allocation.items()
+        },
+        "consumption": {
+            hid: interval_to_dict(interval)
+            for hid, interval in outcome.consumption.items()
+        },
+        "allocator": {
+            "name": outcome.allocation_result.allocator_name,
+            "cost": outcome.allocation_result.cost,
+            "wall_time_s": outcome.allocation_result.wall_time_s,
+            "proven_optimal": outcome.allocation_result.proven_optimal,
+            "nodes_explored": outcome.allocation_result.nodes_explored,
+        },
+        "settlement": settlement_to_dict(outcome.settlement),
+    }
+
+
+# ----------------------------------------------------------------- file layer
+
+def dump_json(document: Mapping[str, Any], path: str) -> None:
+    """Write a serialized document as pretty JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_json(path: str) -> Dict[str, Any]:
+    """Read a serialized document."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def save_neighborhood(neighborhood: Neighborhood, path: str) -> None:
+    dump_json(neighborhood_to_dict(neighborhood), path)
+
+
+def load_neighborhood(path: str) -> Neighborhood:
+    return neighborhood_from_dict(load_json(path))
+
+
+def save_day_outcome(outcome: DayOutcome, path: str) -> None:
+    dump_json(day_outcome_to_dict(outcome), path)

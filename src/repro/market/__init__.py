@@ -1,0 +1,27 @@
+"""Wholesale market substrate: the provider side of Figure 1."""
+
+from .dayahead import DayAheadMarket, DayAheadResult, HourlyClearing
+from .imbalance import HourlyImbalance, ImbalanceResult, TwoPriceImbalance
+from .procurement import ProcurementDay, ProcurementPipeline, scheduled_demand
+from .supply import (
+    Generator,
+    MeritOrderSupply,
+    QuadraticSupplyCurve,
+    SupplyCurve,
+)
+
+__all__ = [
+    "SupplyCurve",
+    "Generator",
+    "MeritOrderSupply",
+    "QuadraticSupplyCurve",
+    "DayAheadMarket",
+    "DayAheadResult",
+    "HourlyClearing",
+    "TwoPriceImbalance",
+    "ImbalanceResult",
+    "HourlyImbalance",
+    "ProcurementPipeline",
+    "ProcurementDay",
+    "scheduled_demand",
+]

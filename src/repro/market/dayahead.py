@@ -1,0 +1,85 @@
+"""The day-ahead market: 24 hourly single-sided auctions.
+
+The neighborhood (as the resource provider of Figure 1) bids a quantity
+for each hour of the next day; each hour clears independently against the
+supply curve, yielding a clearing price and a procurement cost.  Prices
+are lower off-peak exactly because the merit order is shallower there —
+the effect Section I cites as the reason day-ahead procurement rewards
+peak reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..core.intervals import HOURS_PER_DAY
+from .supply import SupplyCurve
+
+
+@dataclass(frozen=True)
+class HourlyClearing:
+    """One hour's auction outcome."""
+
+    hour: int
+    quantity_kwh: float
+    clearing_price: float
+    cost: float
+
+
+@dataclass
+class DayAheadResult:
+    """A full day's procurement: 24 hourly clearings."""
+
+    clearings: List[HourlyClearing]
+
+    @property
+    def total_cost(self) -> float:
+        return sum(clearing.cost for clearing in self.clearings)
+
+    @property
+    def total_energy_kwh(self) -> float:
+        return sum(clearing.quantity_kwh for clearing in self.clearings)
+
+    def price_profile(self) -> List[float]:
+        """The 24 clearing prices (the day-ahead price signal)."""
+        return [clearing.clearing_price for clearing in self.clearings]
+
+
+class DayAheadMarket:
+    """Clears hourly quantity bids against a supply curve."""
+
+    def __init__(self, supply: SupplyCurve) -> None:
+        self.supply = supply
+
+    def clear(self, quantities_kwh: Sequence[float]) -> DayAheadResult:
+        """Run the 24 hourly auctions for the bid quantities.
+
+        Args:
+            quantities_kwh: One procurement bid per hour (length 24).
+
+        Returns:
+            Clearing price and cost per hour.
+        """
+        if len(quantities_kwh) != HOURS_PER_DAY:
+            raise ValueError(
+                f"need {HOURS_PER_DAY} hourly bids, got {len(quantities_kwh)}"
+            )
+        clearings: List[HourlyClearing] = []
+        for hour, quantity in enumerate(quantities_kwh):
+            if quantity < 0:
+                raise ValueError(f"hour {hour}: bid quantity cannot be negative")
+            if quantity > self.supply.capacity_kwh() + 1e-9:
+                raise ValueError(
+                    f"hour {hour}: bid {quantity} exceeds supply capacity "
+                    f"{self.supply.capacity_kwh()}"
+                )
+            clearings.append(
+                HourlyClearing(
+                    hour=hour,
+                    quantity_kwh=float(quantity),
+                    clearing_price=self.supply.clearing_price(float(quantity)),
+                    cost=self.supply.energy_cost(float(quantity)),
+                )
+            )
+        return DayAheadResult(clearings=clearings)

@@ -1,0 +1,103 @@
+"""Imbalance settlement: paying for forecast errors.
+
+Rose et al. (the paper's [24]) have the neighborhood "charged for any
+imbalance between the amount it purchased and the aggregate amount that
+the neighborhood's consumers consumed."  We model the standard two-price
+scheme: energy consumed above the day-ahead position is bought at a
+premium over the clearing price; unused energy is sold back at a discount.
+Both penalties make accurate ECC forecasts directly valuable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..core.intervals import HOURS_PER_DAY
+from .dayahead import DayAheadResult
+
+
+@dataclass(frozen=True)
+class HourlyImbalance:
+    """One hour's deviation and its settlement."""
+
+    hour: int
+    scheduled_kwh: float
+    consumed_kwh: float
+    imbalance_kwh: float
+    charge: float
+
+
+@dataclass
+class ImbalanceResult:
+    """A day's imbalance settlement."""
+
+    hours: List[HourlyImbalance]
+
+    @property
+    def total_charge(self) -> float:
+        return sum(hour.charge for hour in self.hours)
+
+    @property
+    def total_absolute_imbalance_kwh(self) -> float:
+        return sum(abs(hour.imbalance_kwh) for hour in self.hours)
+
+
+class TwoPriceImbalance:
+    """Shortfalls buy at a premium; surpluses sell back at a discount.
+
+    Args:
+        shortfall_premium: Multiplier (> 1) on the clearing price for energy
+            consumed beyond the day-ahead position.
+        surplus_discount: Fraction (< 1) of the clearing price recovered for
+            unused scheduled energy; the charge for a surplus hour is the
+            *lost* value ``(1 - discount) * price * surplus``.
+    """
+
+    def __init__(
+        self, shortfall_premium: float = 1.5, surplus_discount: float = 0.5
+    ) -> None:
+        if shortfall_premium < 1.0:
+            raise ValueError(
+                f"shortfall premium must be >= 1, got {shortfall_premium}"
+            )
+        if not 0.0 <= surplus_discount <= 1.0:
+            raise ValueError(
+                f"surplus discount must be in [0, 1], got {surplus_discount}"
+            )
+        self.shortfall_premium = shortfall_premium
+        self.surplus_discount = surplus_discount
+
+    def settle(
+        self, position: DayAheadResult, consumed_kwh: Sequence[float]
+    ) -> ImbalanceResult:
+        """Settle realized consumption against the day-ahead position."""
+        if len(consumed_kwh) != HOURS_PER_DAY:
+            raise ValueError(
+                f"need {HOURS_PER_DAY} hourly consumptions, got {len(consumed_kwh)}"
+            )
+        hours: List[HourlyImbalance] = []
+        for clearing, consumed in zip(position.clearings, consumed_kwh):
+            if consumed < 0:
+                raise ValueError(
+                    f"hour {clearing.hour}: consumption cannot be negative"
+                )
+            imbalance = float(consumed) - clearing.quantity_kwh
+            if imbalance > 0:
+                # Shortfall: buy the missing energy at a premium.
+                charge = imbalance * clearing.clearing_price * self.shortfall_premium
+            else:
+                # Surplus: recover only a fraction of what was paid.
+                charge = -imbalance * clearing.clearing_price * (
+                    1.0 - self.surplus_discount
+                )
+            hours.append(
+                HourlyImbalance(
+                    hour=clearing.hour,
+                    scheduled_kwh=clearing.quantity_kwh,
+                    consumed_kwh=float(consumed),
+                    imbalance_kwh=imbalance,
+                    charge=charge,
+                )
+            )
+        return ImbalanceResult(hours=hours)

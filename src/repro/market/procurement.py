@@ -1,0 +1,116 @@
+"""Forecast-driven procurement: the neighborhood's market-facing loop.
+
+Ties the whole Figure 1 pipeline together on the provider side: the
+center aggregates its households' (forecast) reports into an hourly
+demand schedule, buys that schedule day-ahead, lets the day play out
+through Enki, and settles the deviation between the purchased position
+and realized consumption at imbalance prices.  Better ECC forecasts mean
+smaller imbalance charges — the experiment
+:mod:`repro.experiments.ext_forecast_market` quantifies exactly that.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from ..core.intervals import HOURS_PER_DAY
+from ..core.mechanism import DayOutcome, EnkiMechanism
+from ..core.types import HouseholdId, Neighborhood, Report
+from ..pricing.load_profile import LoadProfile
+from .dayahead import DayAheadMarket, DayAheadResult
+from .imbalance import ImbalanceResult, TwoPriceImbalance
+
+
+@dataclass
+class ProcurementDay:
+    """One day of market-facing operation."""
+
+    position: DayAheadResult
+    imbalance: ImbalanceResult
+    mechanism_day: DayOutcome
+
+    @property
+    def day_ahead_cost(self) -> float:
+        return self.position.total_cost
+
+    @property
+    def imbalance_cost(self) -> float:
+        return self.imbalance.total_charge
+
+    @property
+    def total_procurement_cost(self) -> float:
+        return self.day_ahead_cost + self.imbalance_cost
+
+    @property
+    def imbalance_share(self) -> float:
+        """Fraction of the total bill caused by forecast errors."""
+        total = self.total_procurement_cost
+        if total <= 0:
+            return 0.0
+        return self.imbalance_cost / total
+
+
+def scheduled_demand(
+    reports: Mapping[HouseholdId, Report],
+    allocation,
+    neighborhood: Neighborhood,
+) -> LoadProfile:
+    """The hourly demand the center commits to buying.
+
+    The center purchases the *allocated* schedule: it has already solved
+    the allocation for the (forecast) reports, so the allocation is its
+    best estimate of tomorrow's hourly load.
+    """
+    return LoadProfile.from_schedule(allocation, neighborhood.households)
+
+
+class ProcurementPipeline:
+    """Day-ahead purchase + Enki day + imbalance settlement."""
+
+    def __init__(
+        self,
+        market: DayAheadMarket,
+        imbalance: Optional[TwoPriceImbalance] = None,
+        mechanism: Optional[EnkiMechanism] = None,
+    ) -> None:
+        self.market = market
+        self.imbalance = imbalance if imbalance is not None else TwoPriceImbalance()
+        self.mechanism = mechanism if mechanism is not None else EnkiMechanism()
+
+    def run_day(
+        self,
+        neighborhood: Neighborhood,
+        forecast_reports: Mapping[HouseholdId, Report],
+        consumption=None,
+        rng: Optional[random.Random] = None,
+    ) -> ProcurementDay:
+        """Buy the forecast schedule, run the day, settle the imbalance.
+
+        Args:
+            neighborhood: True household types (drive realized consumption).
+            forecast_reports: What the ECC units *predicted* and reported;
+                the day-ahead position is built from the allocation of
+                these reports.
+            consumption: Realized consumption; closest-feasible behaviour
+                when omitted (households defect only if the forecast missed
+                their true window).
+            rng: Allocation tie-break randomness.
+        """
+        outcome = self.mechanism.run_day(
+            neighborhood, forecast_reports, consumption, rng=rng
+        )
+        allocation_profile = scheduled_demand(
+            forecast_reports, outcome.allocation, neighborhood
+        )
+        position = self.market.clear(
+            [allocation_profile[h] for h in range(HOURS_PER_DAY)]
+        )
+        realized = outcome.settlement.load_profile
+        settlement = self.imbalance.settle(
+            position, [realized[h] for h in range(HOURS_PER_DAY)]
+        )
+        return ProcurementDay(
+            position=position, imbalance=settlement, mechanism_day=outcome
+        )

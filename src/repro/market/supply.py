@@ -1,0 +1,124 @@
+"""Supply-side models for the wholesale day-ahead market.
+
+Section I situates Enki in the day-ahead energy market: "a wholesale power
+market functions as a single-sided auction where resource providers bid
+for a given amount of power for the next day and wholesale prices are
+lower during off-peak periods."  We model the supply side as a merit-order
+stack of generators with increasing marginal costs; clearing a quantity
+walks the stack cheapest-first.
+
+The paper's quadratic neighborhood cost (Eq. 1) is the special case of a
+supply curve whose marginal price rises linearly: marginal price
+``2*sigma*l`` integrates to the energy cost ``sigma*l**2``.
+:class:`QuadraticSupplyCurve` makes that correspondence exact, tying the
+market substrate back to the mechanism's pricing model.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+class SupplyCurve(abc.ABC):
+    """Hourly supply: the cost and clearing price of a procured quantity."""
+
+    @abc.abstractmethod
+    def energy_cost(self, quantity_kwh: float) -> float:
+        """Total cost of procuring ``quantity_kwh`` in one hour."""
+
+    @abc.abstractmethod
+    def clearing_price(self, quantity_kwh: float) -> float:
+        """Marginal price at ``quantity_kwh`` (the auction's clearing price)."""
+
+    def capacity_kwh(self) -> float:
+        """Maximum procurable quantity per hour (``inf`` if unbounded)."""
+        return float("inf")
+
+
+@dataclass(frozen=True)
+class Generator:
+    """One bid block in the merit order: capacity at a marginal cost."""
+
+    name: str
+    capacity_kwh: float
+    marginal_cost: float
+
+    def __post_init__(self) -> None:
+        if self.capacity_kwh <= 0:
+            raise ValueError(f"capacity must be positive, got {self.capacity_kwh}")
+        if self.marginal_cost < 0:
+            raise ValueError(f"marginal cost cannot be negative, got {self.marginal_cost}")
+
+
+class MeritOrderSupply(SupplyCurve):
+    """A stack of generators cleared cheapest-first (the single-sided auction).
+
+    Args:
+        generators: Bid blocks; they are sorted by marginal cost internally.
+    """
+
+    def __init__(self, generators: Sequence[Generator]) -> None:
+        if not generators:
+            raise ValueError("the merit order needs at least one generator")
+        self.generators: Tuple[Generator, ...] = tuple(
+            sorted(generators, key=lambda g: (g.marginal_cost, g.name))
+        )
+
+    def capacity_kwh(self) -> float:
+        return sum(g.capacity_kwh for g in self.generators)
+
+    def dispatch(self, quantity_kwh: float) -> List[Tuple[Generator, float]]:
+        """Which generators run, and how much each produces."""
+        if quantity_kwh < 0:
+            raise ValueError(f"quantity cannot be negative, got {quantity_kwh}")
+        if quantity_kwh > self.capacity_kwh() + 1e-9:
+            raise ValueError(
+                f"quantity {quantity_kwh} exceeds total capacity {self.capacity_kwh()}"
+            )
+        remaining = quantity_kwh
+        schedule: List[Tuple[Generator, float]] = []
+        for generator in self.generators:
+            if remaining <= 0:
+                break
+            take = min(generator.capacity_kwh, remaining)
+            schedule.append((generator, take))
+            remaining -= take
+        return schedule
+
+    def energy_cost(self, quantity_kwh: float) -> float:
+        return sum(
+            generator.marginal_cost * produced
+            for generator, produced in self.dispatch(quantity_kwh)
+        )
+
+    def clearing_price(self, quantity_kwh: float) -> float:
+        dispatch = self.dispatch(quantity_kwh)
+        if not dispatch:
+            return self.generators[0].marginal_cost
+        return dispatch[-1][0].marginal_cost
+
+
+class QuadraticSupplyCurve(SupplyCurve):
+    """The supply curve whose procurement cost is exactly Eq. 1.
+
+    Marginal price ``2*sigma*q`` integrates to ``sigma*q**2``, so a
+    neighborhood buying its hourly load on this curve pays precisely the
+    paper's ``P_h(l_h) = sigma * l_h**2``.
+    """
+
+    def __init__(self, sigma: float) -> None:
+        if sigma <= 0:
+            raise ValueError(f"sigma must be positive, got {sigma}")
+        self.sigma = sigma
+
+    def energy_cost(self, quantity_kwh: float) -> float:
+        if quantity_kwh < 0:
+            raise ValueError(f"quantity cannot be negative, got {quantity_kwh}")
+        return self.sigma * quantity_kwh * quantity_kwh
+
+    def clearing_price(self, quantity_kwh: float) -> float:
+        if quantity_kwh < 0:
+            raise ValueError(f"quantity cannot be negative, got {quantity_kwh}")
+        return 2.0 * self.sigma * quantity_kwh

@@ -1,0 +1,20 @@
+"""Mechanism substrate: Enki and the baselines it is compared against."""
+
+from .base import Mechanism, MechanismDayResult
+from .dlc import DirectLoadControl, DlcDayDetails
+from .enki import EnkiComparisonMechanism
+from .proportional import ProportionalMechanism
+from .rtp import RealTimePricingControl, RtpDayDetails
+from .vcg import VcgMechanism
+
+__all__ = [
+    "Mechanism",
+    "MechanismDayResult",
+    "EnkiComparisonMechanism",
+    "ProportionalMechanism",
+    "VcgMechanism",
+    "DirectLoadControl",
+    "DlcDayDetails",
+    "RealTimePricingControl",
+    "RtpDayDetails",
+]

@@ -1,0 +1,60 @@
+"""Common interface for DSM mechanisms compared in the evaluation.
+
+A *mechanism* here is the full loop: take reports, produce an allocation,
+observe consumption, and settle payments.  The package ships Enki itself,
+the VCG comparator of Samadi et al. (the paper's Section II contrast), and
+the proportional price-taking baseline of Section V-D.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from ..core.types import (
+    AllocationMap,
+    ConsumptionMap,
+    HouseholdId,
+    Neighborhood,
+    Report,
+)
+
+
+@dataclass
+class MechanismDayResult:
+    """One settled day under some mechanism, in comparable terms."""
+
+    mechanism: str
+    allocation: AllocationMap
+    consumption: ConsumptionMap
+    payments: Dict[HouseholdId, float]
+    valuations: Dict[HouseholdId, float]
+    utilities: Dict[HouseholdId, float]
+    total_cost: float
+
+    @property
+    def budget_surplus(self) -> float:
+        """Revenue minus procurement cost; negative means a deficit."""
+        return sum(self.payments.values()) - self.total_cost
+
+    @property
+    def social_welfare(self) -> float:
+        """Sum of true valuations minus the neighborhood cost."""
+        return sum(self.valuations.values()) - self.total_cost
+
+
+class Mechanism(abc.ABC):
+    """A complete report-allocate-consume-settle mechanism."""
+
+    name: str = "mechanism"
+
+    @abc.abstractmethod
+    def run_day(
+        self,
+        neighborhood: Neighborhood,
+        reports: Optional[Mapping[HouseholdId, Report]] = None,
+        rng: Optional[random.Random] = None,
+    ) -> MechanismDayResult:
+        """Execute one day; truthful reports when none are given."""

@@ -1,0 +1,163 @@
+"""Direct Load Control (DLC): the Section II incumbent, warts included.
+
+"Direct Load Control involves a power company turning off selected
+appliances during peak hours.  Consumers often find ceding such control to
+a power company risky since their particular needs might not be
+addressed."  This baseline makes that risk measurable: households consume
+at their preferred slot; whenever the aggregate exceeds the utility's cap,
+the controller sheds enough appliances (latest enrollees first) for the
+remainder of their block, and the shed energy is simply *unserved* — the
+dissatisfaction the paper cites.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from ..core.intervals import HOURS_PER_DAY, Interval
+from ..core.payments import DEFAULT_XI, proportional_payments
+from ..core.types import HouseholdId, Neighborhood, Report
+from ..core.mechanism import truthful_reports
+from ..core.valuation import valuation
+from ..pricing.base import PricingModel
+from ..pricing.load_profile import LoadProfile
+from ..pricing.quadratic import QuadraticPricing
+from .base import Mechanism, MechanismDayResult
+
+
+@dataclass
+class DlcDayDetails:
+    """Shedding diagnostics attached to a DLC day."""
+
+    served_hours: Dict[HouseholdId, int] = field(default_factory=dict)
+    requested_hours: Dict[HouseholdId, int] = field(default_factory=dict)
+    shed_events: int = 0
+    served_profile: Optional[LoadProfile] = None
+
+    @property
+    def unserved_fraction(self) -> float:
+        """Share of requested appliance-hours the utility switched off."""
+        requested = sum(self.requested_hours.values())
+        if requested == 0:
+            return 0.0
+        served = sum(self.served_hours.values())
+        return 1.0 - served / requested
+
+
+class DirectLoadControl(Mechanism):
+    """Cap-and-shed load control (see module docstring).
+
+    Args:
+        cap_kw: Aggregate load ceiling the utility enforces per hour.
+        pricing: Procurement pricing for the *served* energy.
+        xi: Billing scale (households pay usage-proportional shares).
+    """
+
+    name = "dlc"
+
+    def __init__(
+        self,
+        cap_kw: float,
+        pricing: Optional[PricingModel] = None,
+        xi: float = DEFAULT_XI,
+    ) -> None:
+        if cap_kw <= 0:
+            raise ValueError(f"cap must be positive, got {cap_kw}")
+        self.cap_kw = cap_kw
+        self.pricing = pricing if pricing is not None else QuadraticPricing()
+        self.xi = xi
+        #: Diagnostics of the most recent day.
+        self.last_details: Optional[DlcDayDetails] = None
+
+    def run_day(
+        self,
+        neighborhood: Neighborhood,
+        reports: Optional[Mapping[HouseholdId, Report]] = None,
+        rng: Optional[random.Random] = None,
+    ) -> MechanismDayResult:
+        rng = rng if rng is not None else random.Random()
+        reports = (
+            dict(reports) if reports is not None else truthful_reports(neighborhood)
+        )
+
+        details = DlcDayDetails()
+        # Everyone plugs in at their preferred (window-start) slot.
+        desired: Dict[HouseholdId, Interval] = {}
+        for household in neighborhood:
+            window = household.true_preference.window
+            duration = household.true_preference.duration
+            desired[household.household_id] = Interval(
+                window.start, window.start + duration
+            )
+            details.requested_hours[household.household_id] = duration
+            details.served_hours[household.household_id] = duration
+
+        # Hour by hour, shed the most recently added loads above the cap.
+        active_by_hour: Dict[int, List[HouseholdId]] = {
+            h: [] for h in range(HOURS_PER_DAY)
+        }
+        for hid, interval in desired.items():
+            for h in interval.slots():
+                active_by_hour[h].append(hid)
+        shed: Dict[HouseholdId, set] = {hid: set() for hid in desired}
+        for h in range(HOURS_PER_DAY):
+            load = sum(
+                neighborhood[hid].rating_kw
+                for hid in active_by_hour[h]
+                if h not in shed[hid]
+            )
+            victims = list(active_by_hour[h])
+            rng.shuffle(victims)
+            while load > self.cap_kw + 1e-9 and victims:
+                victim = victims.pop()
+                if h in shed[victim]:
+                    continue
+                shed[victim].add(h)
+                details.served_hours[victim] -= 1
+                details.shed_events += 1
+                load -= neighborhood[victim].rating_kw
+
+        # Served load profile and per-household served energy.
+        profile = LoadProfile()
+        energy: Dict[HouseholdId, float] = {}
+        for hid, interval in desired.items():
+            rating = neighborhood[hid].rating_kw
+            served = 0
+            for h in interval.slots():
+                if h not in shed[hid]:
+                    profile.add(Interval(h, h + 1), rating)
+                    served += 1
+            energy[hid] = served * rating
+
+        details.served_profile = profile.copy()
+        total_cost = self.pricing.cost(profile)
+        # Households with fully shed loads pay nothing (no usage).
+        positive_energy = {hid: e for hid, e in energy.items() if e > 0}
+        payments = {hid: 0.0 for hid in desired}
+        if positive_energy:
+            payments.update(
+                proportional_payments(positive_energy, total_cost, self.xi)
+            )
+
+        valuations: Dict[HouseholdId, float] = {}
+        utilities: Dict[HouseholdId, float] = {}
+        for household in neighborhood:
+            hid = household.household_id
+            served_in_window = details.served_hours[hid]
+            valuations[hid] = valuation(
+                float(served_in_window), household.duration, household.valuation_factor
+            )
+            utilities[hid] = valuations[hid] - payments[hid]
+
+        self.last_details = details
+        return MechanismDayResult(
+            mechanism=self.name,
+            allocation=dict(desired),
+            consumption=dict(desired),
+            payments=payments,
+            valuations=valuations,
+            utilities=utilities,
+            total_cost=total_cost,
+        )

@@ -1,0 +1,36 @@
+"""Enki wrapped in the cross-mechanism comparison interface."""
+
+from __future__ import annotations
+
+import random
+from typing import Mapping, Optional
+
+from ..core.mechanism import EnkiMechanism, truthful_reports
+from ..core.types import HouseholdId, Neighborhood, Report
+from .base import Mechanism, MechanismDayResult
+
+
+class EnkiComparisonMechanism(Mechanism):
+    """Adapter exposing :class:`EnkiMechanism` as a comparable mechanism."""
+
+    name = "enki"
+
+    def __init__(self, mechanism: Optional[EnkiMechanism] = None) -> None:
+        self.mechanism = mechanism if mechanism is not None else EnkiMechanism()
+
+    def run_day(
+        self,
+        neighborhood: Neighborhood,
+        reports: Optional[Mapping[HouseholdId, Report]] = None,
+        rng: Optional[random.Random] = None,
+    ) -> MechanismDayResult:
+        outcome = self.mechanism.run_day(neighborhood, reports, rng=rng)
+        return MechanismDayResult(
+            mechanism=self.name,
+            allocation=outcome.allocation,
+            consumption=outcome.consumption,
+            payments=outcome.settlement.payments,
+            valuations=outcome.settlement.valuations,
+            utilities=outcome.settlement.utilities,
+            total_cost=outcome.settlement.total_cost,
+        )

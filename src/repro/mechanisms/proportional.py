@@ -1,0 +1,102 @@
+"""The no-Enki counterfactual: price-taking proportional billing.
+
+Section V-D defines what a household faces when it does not participate in
+Enki: it consumes at will (a "price taking user"), and pays in proportion
+to its energy use, ``p^z_i = b_i / sum(b) * xi * kappa(omega^z)`` (Kelly's
+proportional allocation).  Theorems 5 and 6 compare expected utilities
+against this baseline; the theory checkers exercise them empirically.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Mapping, Optional
+
+from ..core.intervals import Interval
+from ..core.payments import DEFAULT_XI, proportional_payments
+from ..core.types import (
+    ConsumptionMap,
+    HouseholdId,
+    Neighborhood,
+    Report,
+)
+from ..core.mechanism import truthful_reports
+from ..core.valuation import max_valuation
+from ..pricing.base import PricingModel
+from ..pricing.load_profile import LoadProfile
+from ..pricing.quadratic import QuadraticPricing
+from .base import Mechanism, MechanismDayResult
+
+
+class ProportionalMechanism(Mechanism):
+    """Uncoordinated consumption with usage-proportional billing.
+
+    Args:
+        pricing: Neighborhood pricing model.
+        xi: Billing scale factor (the same xi as Enki's Eq. 7).
+        placement: How price takers pick their slot inside their true
+            window — ``"preferred"`` (the window start, everyone's habit)
+            or ``"random"`` (uniform within the window).
+    """
+
+    name = "proportional"
+
+    def __init__(
+        self,
+        pricing: Optional[PricingModel] = None,
+        xi: float = DEFAULT_XI,
+        placement: str = "preferred",
+    ) -> None:
+        if placement not in ("preferred", "random"):
+            raise ValueError(f"placement must be 'preferred' or 'random', got {placement!r}")
+        self.pricing = pricing if pricing is not None else QuadraticPricing()
+        self.xi = xi
+        self.placement = placement
+
+    def run_day(
+        self,
+        neighborhood: Neighborhood,
+        reports: Optional[Mapping[HouseholdId, Report]] = None,
+        rng: Optional[random.Random] = None,
+    ) -> MechanismDayResult:
+        rng = rng if rng is not None else random.Random()
+        reports = (
+            dict(reports) if reports is not None else truthful_reports(neighborhood)
+        )
+
+        # Without a coordinator every household simply picks its own slot.
+        consumption: ConsumptionMap = {}
+        for household in neighborhood:
+            window = household.true_preference.window
+            duration = household.true_preference.duration
+            if self.placement == "preferred":
+                start = window.start
+            else:
+                start = rng.randint(window.start, window.end - duration)
+            consumption[household.household_id] = Interval(start, start + duration)
+
+        profile = LoadProfile.from_schedule(consumption, neighborhood.households)
+        total_cost = self.pricing.cost(profile)
+        energy = {
+            hh.household_id: hh.duration * hh.rating_kw for hh in neighborhood
+        }
+        payments = proportional_payments(energy, total_cost, self.xi)
+
+        # A price taker consumes inside its true window, so its valuation is
+        # maximal — Section V-D keeps valuations identical across regimes.
+        valuations: Dict[HouseholdId, float] = {
+            hh.household_id: max_valuation(hh.duration, hh.valuation_factor)
+            for hh in neighborhood
+        }
+        utilities = {
+            hid: valuations[hid] - payments[hid] for hid in valuations
+        }
+        return MechanismDayResult(
+            mechanism=self.name,
+            allocation=dict(consumption),
+            consumption=consumption,
+            payments=payments,
+            valuations=valuations,
+            utilities=utilities,
+            total_cost=total_cost,
+        )

@@ -1,0 +1,142 @@
+"""Price-Based Control (real-time pricing): the herding baseline.
+
+Section II: "PBC has the drawback of often shifting the peak from one
+period to another.  Because consumers often respond to a price signal,
+they all tend to shift to the lowest price period without a controller."
+
+This baseline implements exactly that dynamic: the utility broadcasts
+yesterday's hourly prices (marginal quadratic prices of yesterday's load);
+each household independently moves its block to the cheapest hours of its
+window; the aggregate creates today's prices; repeat.  The experiment
+:mod:`repro.experiments.baseline_landscape` tracks the migrating peak.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from ..core.intervals import HOURS_PER_DAY, Interval
+from ..core.payments import DEFAULT_XI, proportional_payments
+from ..core.types import HouseholdId, Neighborhood, Report
+from ..core.mechanism import truthful_reports
+from ..core.valuation import max_valuation
+from ..pricing.load_profile import LoadProfile
+from ..pricing.quadratic import QuadraticPricing
+from .base import Mechanism, MechanismDayResult
+
+
+@dataclass
+class RtpDayDetails:
+    """Diagnostics of one price-response day."""
+
+    price_signal: List[float]
+    peak_hour: int
+    peak_kw: float
+
+
+class RealTimePricingControl(Mechanism):
+    """Households chase yesterday's cheapest hours (see module docstring).
+
+    The mechanism is stateful across days: :meth:`run_day` updates the
+    broadcast price signal from the day's realized load.  Day 0 sees a
+    flat signal, so everyone starts at its preferred slot.
+
+    Args:
+        pricing: Quadratic procurement pricing (its marginal price
+            ``2*sigma*l`` is the broadcast signal).
+        xi: Usage-proportional billing scale.
+    """
+
+    name = "rtp"
+
+    def __init__(
+        self,
+        pricing: Optional[QuadraticPricing] = None,
+        xi: float = DEFAULT_XI,
+    ) -> None:
+        self.pricing = pricing if pricing is not None else QuadraticPricing()
+        self.xi = xi
+        self._price_signal: List[float] = [0.0] * HOURS_PER_DAY
+        self.last_details: Optional[RtpDayDetails] = None
+
+    def reset(self) -> None:
+        """Forget the price history (start a fresh episode)."""
+        self._price_signal = [0.0] * HOURS_PER_DAY
+
+    def _respond(
+        self, neighborhood: Neighborhood, rng: random.Random
+    ) -> Dict[HouseholdId, Interval]:
+        """Each household picks its window's cheapest block under the signal."""
+        placements: Dict[HouseholdId, Interval] = {}
+        for household in neighborhood:
+            window = household.true_preference.window
+            duration = household.true_preference.duration
+            best_start, best_price = window.start, float("inf")
+            starts = list(range(window.start, window.end - duration + 1))
+            rng.shuffle(starts)  # ties break randomly, as uncoordinated humans do
+            for start in starts:
+                price = sum(self._price_signal[start:start + duration])
+                if price < best_price - 1e-12:
+                    best_start, best_price = start, price
+            placements[household.household_id] = Interval(
+                best_start, best_start + duration
+            )
+        return placements
+
+    def run_day(
+        self,
+        neighborhood: Neighborhood,
+        reports: Optional[Mapping[HouseholdId, Report]] = None,
+        rng: Optional[random.Random] = None,
+    ) -> MechanismDayResult:
+        rng = rng if rng is not None else random.Random()
+        consumption = self._respond(neighborhood, rng)
+        profile = LoadProfile.from_schedule(consumption, neighborhood.households)
+        total_cost = self.pricing.cost(profile)
+
+        energy = {hh.household_id: hh.duration * hh.rating_kw for hh in neighborhood}
+        payments = proportional_payments(energy, total_cost, self.xi)
+        valuations = {
+            hh.household_id: max_valuation(hh.duration, hh.valuation_factor)
+            for hh in neighborhood
+        }
+        utilities = {hid: valuations[hid] - payments[hid] for hid in valuations}
+
+        # Broadcast tomorrow's signal: today's marginal prices.
+        self._price_signal = [
+            2.0 * self.pricing.sigma * profile[h] for h in range(HOURS_PER_DAY)
+        ]
+        loads = profile.as_array()
+        peak_hour = int(loads.argmax())
+        self.last_details = RtpDayDetails(
+            price_signal=list(self._price_signal),
+            peak_hour=peak_hour,
+            peak_kw=float(loads[peak_hour]),
+        )
+        return MechanismDayResult(
+            mechanism=self.name,
+            allocation=dict(consumption),
+            consumption=consumption,
+            payments=payments,
+            valuations=valuations,
+            utilities=utilities,
+            total_cost=total_cost,
+        )
+
+    def run_days(
+        self,
+        neighborhood: Neighborhood,
+        days: int,
+        seed: Optional[int] = None,
+    ) -> List[MechanismDayResult]:
+        """A fresh multi-day episode (resets the price signal first)."""
+        if days < 1:
+            raise ValueError(f"days must be >= 1, got {days}")
+        self.reset()
+        rng = random.Random(seed)
+        return [
+            self.run_day(neighborhood, rng=random.Random(rng.randrange(2**63)))
+            for _ in range(days)
+        ]

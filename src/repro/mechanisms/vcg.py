@@ -1,0 +1,147 @@
+"""A VCG mechanism for DSM, in the style of Samadi et al. (2012).
+
+The paper contrasts Enki with VCG (Sections I-II, IV-B2): VCG makes
+truth-telling a dominant strategy but (1) needs one additional optimal
+allocation per household to price the day, so it inherits the exact
+solver's intractability n+1 times over, and (2) offers no budget-balance
+guarantee.  This implementation makes both failure modes measurable.
+
+Setup: the social objective is ``sum_i V_i(s_i) - kappa(s)`` (reported
+valuations, Eq. 9's objective).  The allocation maximizes it exactly; the
+Clarke pivot payment of household *i* is::
+
+    p_i = W(-i) - [sum_{j != i} V_j(s_j) - kappa(s)]
+
+where ``W(-i)`` is the optimal objective of the economy without *i*.  Each
+term needs its own exact optimization.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from ..allocation.base import AllocationProblem
+from ..allocation.optimal import BranchAndBoundAllocator
+from ..core.mechanism import default_consumption, truthful_reports
+from ..core.types import (
+    AllocationMap,
+    HouseholdId,
+    Neighborhood,
+    Report,
+)
+from ..core.valuation import household_valuation, satisfied_hours, valuation
+from ..pricing.base import PricingModel
+from ..pricing.load_profile import LoadProfile
+from ..pricing.quadratic import QuadraticPricing
+from .base import Mechanism, MechanismDayResult
+
+
+class VcgMechanism(Mechanism):
+    """Clarke-pivot VCG over the exact allocation (see module docstring).
+
+    Args:
+        pricing: Neighborhood pricing model.
+        solver_time_limit_s: Budget for *each* of the n+1 exact solves; the
+            measured wall time is part of the intractability story.
+        seed: Warm-start seed for the exact solver.
+    """
+
+    name = "vcg"
+
+    def __init__(
+        self,
+        pricing: Optional[PricingModel] = None,
+        solver_time_limit_s: float = 30.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.pricing = pricing if pricing is not None else QuadraticPricing()
+        self.solver_time_limit_s = solver_time_limit_s
+        self._seed = seed
+
+    def _reported_valuation(
+        self, neighborhood: Neighborhood, report: Report, allocation
+    ) -> float:
+        """Valuation implied by the *reported* window (what VCG can see)."""
+        household = neighborhood[report.household_id]
+        tau = satisfied_hours(allocation, report.preference.window)
+        return valuation(float(tau), report.preference.duration, household.valuation_factor)
+
+    def _optimize(
+        self,
+        neighborhood: Neighborhood,
+        reports: Mapping[HouseholdId, Report],
+        rng: random.Random,
+    ) -> Tuple[AllocationMap, float]:
+        """Exact welfare-maximizing allocation and its objective value.
+
+        With allocations constrained inside reported windows, every
+        reported valuation is already at its maximum (tau = v), so
+        maximizing welfare reduces to minimizing kappa — the same Eq. 2
+        program the branch-and-bound solver handles.
+        """
+        problem = AllocationProblem.from_reports(
+            reports, neighborhood.households, self.pricing
+        )
+        solver = BranchAndBoundAllocator(
+            time_limit_s=self.solver_time_limit_s, seed=self._seed
+        )
+        result = solver.solve(problem, rng)
+        reported_value = sum(
+            self._reported_valuation(neighborhood, reports[hid], interval)
+            for hid, interval in result.allocation.items()
+        )
+        return result.allocation, reported_value - result.cost
+
+    def run_day(
+        self,
+        neighborhood: Neighborhood,
+        reports: Optional[Mapping[HouseholdId, Report]] = None,
+        rng: Optional[random.Random] = None,
+    ) -> MechanismDayResult:
+        rng = rng if rng is not None else random.Random(self._seed)
+        reports = (
+            dict(reports) if reports is not None else truthful_reports(neighborhood)
+        )
+
+        allocation, _ = self._optimize(neighborhood, reports, rng)
+        consumption = default_consumption(neighborhood, allocation)
+        profile = LoadProfile.from_schedule(consumption, neighborhood.households)
+        total_cost = self.pricing.cost(profile)
+
+        payments: Dict[HouseholdId, float] = {}
+        for hid in reports:
+            others_reports = {k: v for k, v in reports.items() if k != hid}
+            if others_reports:
+                others_neighborhood = Neighborhood.of(
+                    *(hh for hh in neighborhood if hh.household_id != hid)
+                )
+                _, welfare_without = self._optimize(
+                    others_neighborhood, others_reports, rng
+                )
+            else:
+                welfare_without = 0.0
+
+            others_value_at_chosen = sum(
+                self._reported_valuation(neighborhood, reports[other], allocation[other])
+                for other in others_reports
+            )
+            chosen_cost = self.pricing.schedule_cost(
+                allocation, neighborhood.households
+            )
+            payments[hid] = welfare_without - (others_value_at_chosen - chosen_cost)
+
+        valuations = {
+            hid: household_valuation(neighborhood[hid], allocation[hid])
+            for hid in reports
+        }
+        utilities = {hid: valuations[hid] - payments[hid] for hid in reports}
+        return MechanismDayResult(
+            mechanism=self.name,
+            allocation=allocation,
+            consumption=consumption,
+            payments=payments,
+            valuations=valuations,
+            utilities=utilities,
+            total_cost=total_cost,
+        )

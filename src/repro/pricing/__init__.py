@@ -1,0 +1,15 @@
+"""Pricing substrate: what the neighborhood pays the power company."""
+
+from .base import PricingModel
+from .load_profile import LoadProfile
+from .piecewise import TwoStepPricing
+from .quadratic import DEFAULT_SIGMA, QuadraticPricing, neighborhood_cost
+
+__all__ = [
+    "PricingModel",
+    "LoadProfile",
+    "TwoStepPricing",
+    "QuadraticPricing",
+    "DEFAULT_SIGMA",
+    "neighborhood_cost",
+]

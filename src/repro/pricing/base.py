@@ -1,0 +1,39 @@
+"""Pricing model interface: what the neighborhood pays the power company."""
+
+from __future__ import annotations
+
+import abc
+from typing import Mapping, Optional
+
+from ..core.intervals import HOURS_PER_DAY, Interval
+from ..core.types import HouseholdId, HouseholdType
+from .load_profile import LoadProfile
+
+
+class PricingModel(abc.ABC):
+    """Maps hourly aggregate load to the neighborhood's cost.
+
+    The paper requires the hourly price ``P_h(l_h)`` to be increasing and
+    strictly convex in the aggregate load (Section III) so that flattening
+    the profile always lowers the total cost ``kappa``.
+    """
+
+    @abc.abstractmethod
+    def hourly_cost(self, load_kw: float) -> float:
+        """Cost of one hour at aggregate load ``load_kw`` (``P_h(l_h)``)."""
+
+    def cost(self, profile: LoadProfile) -> float:
+        """Total daily cost ``kappa = sum_h P_h(l_h)`` (Eq. 1)."""
+        return sum(self.hourly_cost(profile[h]) for h in range(HOURS_PER_DAY))
+
+    def schedule_cost(
+        self,
+        schedule: Mapping[HouseholdId, Interval],
+        types: Optional[Mapping[HouseholdId, HouseholdType]] = None,
+    ) -> float:
+        """Total cost of a per-household schedule (allocation or consumption)."""
+        return self.cost(LoadProfile.from_schedule(schedule, types))
+
+    def marginal_cost(self, load_kw: float, added_kw: float) -> float:
+        """Cost increase of adding ``added_kw`` on top of ``load_kw`` for one hour."""
+        return self.hourly_cost(load_kw + added_kw) - self.hourly_cost(load_kw)

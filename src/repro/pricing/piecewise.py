@@ -1,0 +1,52 @@
+"""Two-step piecewise-linear convex pricing.
+
+Section III notes that other convex forms, "e.g., a two-step piecewise
+function, as suggested in [6]" (Mohsenian-Rad et al.), also satisfy the
+model's assumptions.  We provide it as an alternative substrate and use it
+in the pricing ablation to show the mechanism's behaviour does not hinge on
+the quadratic form.
+"""
+
+from __future__ import annotations
+
+from .base import PricingModel
+
+
+class TwoStepPricing(PricingModel):
+    """Convex piecewise-linear price with a cheap base tier.
+
+    Hourly cost is ``low_rate * l`` up to ``threshold_kw``; energy beyond the
+    threshold is billed at ``high_rate``:
+
+    ``P_h(l) = low_rate * min(l, T) + high_rate * max(l - T, 0)``
+
+    Convexity requires ``high_rate >= low_rate``.  Note this price is convex
+    but not *strictly* convex, so some peak-shifting moves are cost-neutral;
+    the ablation benchmark quantifies the consequences.
+    """
+
+    def __init__(self, threshold_kw: float, low_rate: float, high_rate: float) -> None:
+        if threshold_kw < 0:
+            raise ValueError(f"threshold must be non-negative, got {threshold_kw}")
+        if low_rate < 0:
+            raise ValueError(f"low rate must be non-negative, got {low_rate}")
+        if high_rate < low_rate:
+            raise ValueError(
+                f"high rate {high_rate} below low rate {low_rate} breaks convexity"
+            )
+        self.threshold_kw = float(threshold_kw)
+        self.low_rate = float(low_rate)
+        self.high_rate = float(high_rate)
+
+    def hourly_cost(self, load_kw: float) -> float:
+        if load_kw < 0:
+            raise ValueError(f"load cannot be negative, got {load_kw}")
+        base = min(load_kw, self.threshold_kw)
+        excess = max(load_kw - self.threshold_kw, 0.0)
+        return self.low_rate * base + self.high_rate * excess
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TwoStepPricing(threshold={self.threshold_kw} kW, "
+            f"low={self.low_rate}, high={self.high_rate})"
+        )

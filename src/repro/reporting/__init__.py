@@ -1,0 +1,5 @@
+"""Terminal reporting: plain-text charts for headless environments."""
+
+from .ascii import bar_chart, load_profile_chart, series_table, sparkline
+
+__all__ = ["bar_chart", "sparkline", "load_profile_chart", "series_table"]

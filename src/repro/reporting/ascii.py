@@ -1,0 +1,95 @@
+"""Terminal-friendly charts for examples and CLI output.
+
+Nothing here imports matplotlib — the reproduction is headless by design.
+The helpers render load profiles, time series and labeled bars as plain
+text, used by the example scripts and the ``enki-repro`` CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..pricing.load_profile import LoadProfile
+
+#: Eighth-block characters for sparklines, thinnest to fullest.
+_SPARK_LEVELS = " ▁▂▃▄▅▆▇█"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal bars, one per labeled value.
+
+    Args:
+        labels: Row labels (rendered left-aligned).
+        values: Non-negative values; bars scale to the maximum.
+        width: Maximum bar width in characters.
+        unit: Suffix printed after each value.
+    """
+    if len(labels) != len(values):
+        raise ValueError(
+            f"labels ({len(labels)}) and values ({len(values)}) must align"
+        )
+    if any(value < 0 for value in values):
+        raise ValueError("bar chart values cannot be negative")
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    peak = max(values) if values else 0.0
+    label_width = max((len(label) for label in labels), default=0)
+    lines: List[str] = []
+    for label, value in zip(labels, values):
+        bar = "#" * (int(round(width * value / peak)) if peak > 0 else 0)
+        lines.append(
+            f"{label:<{label_width}} |{bar:<{width}} {value:g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line block-character series (min flat-lines to the base)."""
+    if not values:
+        return ""
+    if any(value < 0 for value in values):
+        raise ValueError("sparkline values cannot be negative")
+    peak = max(values)
+    if peak == 0:
+        return _SPARK_LEVELS[0] * len(values)
+    out = []
+    for value in values:
+        index = int(round(value / peak * (len(_SPARK_LEVELS) - 1)))
+        out.append(_SPARK_LEVELS[index])
+    return "".join(out)
+
+
+def load_profile_chart(
+    profile: LoadProfile, width: int = 30, hour_range: Optional[range] = None
+) -> str:
+    """Hour-by-hour bars of a daily load profile."""
+    hours = hour_range if hour_range is not None else range(24)
+    labels = [f"{hour:02d}:00" for hour in hours]
+    values = [profile[hour] for hour in hours]
+    return bar_chart(labels, values, width=width, unit=" kW")
+
+
+def series_table(
+    header: str, rows: Iterable[Sequence[float]], labels: Sequence[str]
+) -> str:
+    """Sparkline-per-row comparison of several daily series.
+
+    Args:
+        header: Title line.
+        rows: One numeric series per label.
+        labels: Row labels.
+    """
+    materialized = [list(row) for row in rows]
+    if len(materialized) != len(labels):
+        raise ValueError("labels and rows must align")
+    label_width = max((len(label) for label in labels), default=0)
+    lines = [header]
+    for label, row in zip(labels, materialized):
+        peak = max(row) if row else 0.0
+        lines.append(f"  {label:<{label_width}} {sparkline(row)}  peak {peak:g}")
+    return "\n".join(lines)

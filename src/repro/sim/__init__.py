@@ -1,0 +1,55 @@
+"""Simulation substrate: workloads, engines and metrics for Section VI."""
+
+from .appliance_models import (
+    STANDARD_ARCHETYPES,
+    ApplianceArchetype,
+    build_multi_appliance_population,
+    population_statistics,
+)
+from .engine import (
+    AllocatorDayRecord,
+    ConsumptionPolicy,
+    NeighborhoodSimulation,
+    ReportPolicy,
+    SocialWelfareStudy,
+    follow_or_closest_policy,
+    truthful_report_policy,
+)
+from .metrics import SeriesPoint, speedup_series, summarize_records
+from .profiles import (
+    ProfileGenerator,
+    ProfileGeneratorConfig,
+    UsageProfile,
+    neighborhood_from_profiles,
+)
+from .results import format_table
+from .rng import make_rngs, spawn_seed
+from .season import DAYS_PER_WEEK, SeasonResult, SeasonSimulator, WeeklyKpis
+
+__all__ = [
+    "ApplianceArchetype",
+    "STANDARD_ARCHETYPES",
+    "build_multi_appliance_population",
+    "population_statistics",
+    "AllocatorDayRecord",
+    "SocialWelfareStudy",
+    "NeighborhoodSimulation",
+    "ReportPolicy",
+    "ConsumptionPolicy",
+    "truthful_report_policy",
+    "follow_or_closest_policy",
+    "SeriesPoint",
+    "summarize_records",
+    "speedup_series",
+    "ProfileGenerator",
+    "ProfileGeneratorConfig",
+    "UsageProfile",
+    "neighborhood_from_profiles",
+    "format_table",
+    "make_rngs",
+    "spawn_seed",
+    "DAYS_PER_WEEK",
+    "SeasonSimulator",
+    "SeasonResult",
+    "WeeklyKpis",
+]

@@ -1,0 +1,218 @@
+"""Simulation engines for the Section VI studies.
+
+Two drivers live here:
+
+* :class:`SocialWelfareStudy` — the Figures 4-6 engine: for each day it
+  samples a fresh population, gives every allocator the same truthful
+  reports, and records peak-to-average ratio, neighborhood cost and
+  scheduling time per allocator.
+* :class:`NeighborhoodSimulation` — a general multi-day run of the full
+  Enki mechanism with pluggable reporting/consumption policies, used by the
+  incentive-compatibility experiment, the theory property checkers and the
+  examples.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..allocation.base import AllocationProblem, Allocator
+from ..core.intervals import Interval
+from ..core.mechanism import (
+    DayOutcome,
+    EnkiMechanism,
+    closest_feasible_consumption,
+)
+from ..core.types import (
+    ConsumptionMap,
+    HouseholdId,
+    HouseholdType,
+    Neighborhood,
+    Report,
+)
+from ..pricing.base import PricingModel
+from ..pricing.load_profile import LoadProfile
+from ..pricing.quadratic import QuadraticPricing
+from .profiles import ProfileGenerator, neighborhood_from_profiles
+from .rng import make_rngs, spawn_seed
+
+
+@dataclass(frozen=True)
+class AllocatorDayRecord:
+    """One allocator's performance on one simulated day."""
+
+    day: int
+    n_households: int
+    allocator: str
+    par: float
+    cost: float
+    wall_time_s: float
+    proven_optimal: bool
+    nodes_explored: int
+
+
+class SocialWelfareStudy:
+    """Compare allocators on identical day-ahead instances (Figures 4-6).
+
+    Args:
+        allocators: The solvers to compare (e.g. Enki greedy vs optimal).
+        generator: Usage-profile generator; Section VI defaults when omitted.
+        pricing: Neighborhood pricing; quadratic sigma=0.3 when omitted.
+        true_preference: Which window households report — the paper's
+            social-welfare study has every household report its wide
+            interval as its true preference.
+    """
+
+    def __init__(
+        self,
+        allocators: Sequence[Allocator],
+        generator: Optional[ProfileGenerator] = None,
+        pricing: Optional[PricingModel] = None,
+        true_preference: str = "wide",
+    ) -> None:
+        if not allocators:
+            raise ValueError("need at least one allocator to study")
+        names = [allocator.name for allocator in allocators]
+        if len(set(names)) != len(names):
+            raise ValueError(f"allocator names must be unique, got {names}")
+        self.allocators = list(allocators)
+        self.generator = generator if generator is not None else ProfileGenerator()
+        self.pricing = pricing if pricing is not None else QuadraticPricing()
+        self.true_preference = true_preference
+
+    def run(self, n_households: int, days: int, seed: Optional[int] = None
+            ) -> List[AllocatorDayRecord]:
+        """Simulate ``days`` independent days with ``n_households`` each."""
+        if days < 1:
+            raise ValueError(f"days must be >= 1, got {days}")
+        py_rng, np_rng = make_rngs(seed)
+        records: List[AllocatorDayRecord] = []
+        for day in range(days):
+            profiles = self.generator.sample_population(np_rng, n_households)
+            neighborhood = neighborhood_from_profiles(profiles, self.true_preference)
+            reports = {
+                hh.household_id: Report(hh.household_id, hh.true_preference)
+                for hh in neighborhood
+            }
+            problem = AllocationProblem.from_reports(
+                reports, neighborhood.households, self.pricing
+            )
+            for allocator in self.allocators:
+                result = allocator.solve(problem, random.Random(spawn_seed(py_rng)))
+                profile = LoadProfile.from_schedule(
+                    result.allocation, neighborhood.households
+                )
+                records.append(
+                    AllocatorDayRecord(
+                        day=day,
+                        n_households=n_households,
+                        allocator=allocator.name,
+                        par=profile.peak_to_average_ratio(),
+                        cost=result.cost,
+                        wall_time_s=result.wall_time_s,
+                        proven_optimal=result.proven_optimal,
+                        nodes_explored=result.nodes_explored,
+                    )
+                )
+        return records
+
+    def sweep(
+        self,
+        populations: Sequence[int],
+        days: int,
+        seed: Optional[int] = None,
+    ) -> List[AllocatorDayRecord]:
+        """Run the study across population sizes (the Figures 4-6 x-axis)."""
+        rng = random.Random(seed)
+        records: List[AllocatorDayRecord] = []
+        for n_households in populations:
+            records.extend(self.run(n_households, days, spawn_seed(rng)))
+        return records
+
+
+#: Decides what a household reports on a given day.
+ReportPolicy = Callable[[int, HouseholdType, random.Random], Report]
+
+#: Decides what a household consumes given its report and allocation.
+ConsumptionPolicy = Callable[
+    [int, HouseholdType, Report, Interval, random.Random], Interval
+]
+
+
+def truthful_report_policy(
+    day: int, household: HouseholdType, rng: random.Random
+) -> Report:
+    """Report the true preference every day."""
+    return Report(household.household_id, household.true_preference)
+
+
+def follow_or_closest_policy(
+    day: int,
+    household: HouseholdType,
+    report: Report,
+    allocation: Interval,
+    rng: random.Random,
+) -> Interval:
+    """Follow the allocation if it fits the true window, else defect minimally."""
+    true = household.true_preference
+    return closest_feasible_consumption(true.window, true.duration, allocation)
+
+
+class NeighborhoodSimulation:
+    """Run the full Enki mechanism over multiple days with custom behaviour."""
+
+    def __init__(
+        self,
+        mechanism: Optional[EnkiMechanism] = None,
+        report_policy: ReportPolicy = truthful_report_policy,
+        consumption_policy: ConsumptionPolicy = follow_or_closest_policy,
+    ) -> None:
+        self.mechanism = mechanism if mechanism is not None else EnkiMechanism()
+        self.report_policy = report_policy
+        self.consumption_policy = consumption_policy
+
+    def run(
+        self,
+        neighborhood: Neighborhood,
+        days: int,
+        seed: Optional[int] = None,
+    ) -> List[DayOutcome]:
+        """Simulate ``days`` settled days for a fixed neighborhood."""
+        if days < 1:
+            raise ValueError(f"days must be >= 1, got {days}")
+        rng = random.Random(seed)
+        outcomes: List[DayOutcome] = []
+        for day in range(days):
+            reports: Dict[HouseholdId, Report] = {
+                hh.household_id: self.report_policy(day, hh, rng)
+                for hh in neighborhood
+            }
+            allocation_result = self.mechanism.allocate(
+                neighborhood, reports, random.Random(spawn_seed(rng))
+            )
+            consumption: ConsumptionMap = {
+                hh.household_id: self.consumption_policy(
+                    day,
+                    hh,
+                    reports[hh.household_id],
+                    allocation_result.allocation[hh.household_id],
+                    rng,
+                )
+                for hh in neighborhood
+            }
+            settlement = self.mechanism.settle(
+                neighborhood, reports, allocation_result.allocation, consumption
+            )
+            outcomes.append(
+                DayOutcome(
+                    reports=reports,
+                    allocation_result=allocation_result,
+                    consumption=consumption,
+                    settlement=settlement,
+                )
+            )
+        return outcomes

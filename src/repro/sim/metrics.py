@@ -1,0 +1,75 @@
+"""Aggregation of simulation records into the paper's plotted series."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..stats.descriptive import MeanCI, mean_ci
+from .engine import AllocatorDayRecord
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One (population size, allocator) cell of a Figures 4-6 series."""
+
+    n_households: int
+    allocator: str
+    par: MeanCI
+    cost: MeanCI
+    wall_time_s: MeanCI
+    days: int
+    proven_optimal_fraction: float
+
+
+def summarize_records(
+    records: Iterable[AllocatorDayRecord],
+) -> List[SeriesPoint]:
+    """Group day records by (n, allocator) and attach 95% CIs.
+
+    Output is ordered by population size then allocator name — the order
+    the figures plot their series in.
+    """
+    grouped: Dict[Tuple[int, str], List[AllocatorDayRecord]] = {}
+    for record in records:
+        grouped.setdefault((record.n_households, record.allocator), []).append(record)
+
+    points: List[SeriesPoint] = []
+    for (n_households, allocator), cell in sorted(grouped.items()):
+        points.append(
+            SeriesPoint(
+                n_households=n_households,
+                allocator=allocator,
+                par=mean_ci([r.par for r in cell]),
+                cost=mean_ci([r.cost for r in cell]),
+                wall_time_s=mean_ci([r.wall_time_s for r in cell]),
+                days=len(cell),
+                proven_optimal_fraction=(
+                    sum(1 for r in cell if r.proven_optimal) / len(cell)
+                ),
+            )
+        )
+    return points
+
+
+def speedup_series(points: Sequence[SeriesPoint], fast: str, slow: str
+                   ) -> List[Tuple[int, float]]:
+    """Mean slowdown factor ``slow / fast`` per population size (Figure 6).
+
+    The paper reports Optimal taking "around 600 times longer" than Enki
+    past 40 households; this extracts exactly that ratio.
+    """
+    by_n: Dict[int, Dict[str, SeriesPoint]] = {}
+    for point in points:
+        by_n.setdefault(point.n_households, {})[point.allocator] = point
+    series: List[Tuple[int, float]] = []
+    for n_households in sorted(by_n):
+        cell = by_n[n_households]
+        if fast not in cell or slow not in cell:
+            continue
+        fast_time = cell[fast].wall_time_s.mean
+        slow_time = cell[slow].wall_time_s.mean
+        if fast_time <= 0:
+            continue
+        series.append((n_households, slow_time / fast_time))
+    return series

@@ -1,0 +1,35 @@
+"""Plain-text table rendering for experiment output.
+
+The benchmark harness prints the same rows and series the paper reports;
+this module renders them as aligned monospace tables so the shapes are easy
+to compare against the figures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render rows as an aligned table with a header rule."""
+    materialized: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} does not match headers {len(headers)}"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+
+    lines = [render_row(list(headers)), render_row(["-" * width for width in widths])]
+    lines.extend(render_row(row) for row in materialized)
+    return "\n".join(lines)
+
+
+def fmt(value: float, digits: int = 3) -> str:
+    """Fixed-point formatting shared by the experiment printers."""
+    return f"{value:.{digits}f}"

@@ -1,0 +1,29 @@
+"""Deterministic randomness helpers shared by the simulators.
+
+Everything in the simulation and user-study packages draws from
+``numpy.random.Generator`` / ``random.Random`` instances seeded through
+here, so every experiment is reproducible from a single integer seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def make_rngs(seed: Optional[int]) -> Tuple[random.Random, np.random.Generator]:
+    """A paired (stdlib, numpy) generator from one seed.
+
+    The stdlib generator drives tie-breaking and shuffles; the numpy one
+    drives the distribution sampling of Section VI.
+    """
+    py_rng = random.Random(seed)
+    np_rng = np.random.default_rng(seed)
+    return py_rng, np_rng
+
+
+def spawn_seed(rng: random.Random) -> int:
+    """A fresh child seed drawn from ``rng`` (stable across platforms)."""
+    return rng.randrange(2**63)

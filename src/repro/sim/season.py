@@ -1,0 +1,177 @@
+"""Season-scale operation: weeks of Enki with churn and weekly KPIs.
+
+The paper evaluates single days; an adopting utility runs the mechanism
+for months.  This simulator stretches the stack to that horizon: a
+neighborhood operates week after week, households occasionally move in
+and out (churn), preferences redraw daily per Section VI, and the
+operator gets the weekly KPIs it would actually monitor — cost, PAR,
+surplus, defection rate — with the standing invariants checked every day.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.mechanism import DayOutcome, EnkiMechanism
+from ..core.types import HouseholdType, Neighborhood
+from ..sim.profiles import ProfileGenerator
+from ..sim.results import format_table
+from ..sim.rng import spawn_seed
+
+#: Days per simulated week.
+DAYS_PER_WEEK = 7
+
+
+@dataclass
+class WeeklyKpis:
+    """One week's operator dashboard."""
+
+    week: int
+    n_households_start: int
+    joins: int
+    departures: int
+    mean_cost: float
+    mean_par: float
+    mean_surplus: float
+    defection_rate: float
+
+    def as_row(self) -> tuple:
+        return (
+            self.week,
+            self.n_households_start,
+            f"+{self.joins}/-{self.departures}",
+            f"{self.mean_cost:.1f}",
+            f"{self.mean_par:.2f}",
+            f"{self.mean_surplus:.2f}",
+            f"{self.defection_rate:.1%}",
+        )
+
+
+@dataclass
+class SeasonResult:
+    """The full season: weekly KPIs plus every settled day."""
+
+    weeks: List[WeeklyKpis]
+    outcomes: List[DayOutcome] = field(default_factory=list)
+
+    @property
+    def always_budget_balanced(self) -> bool:
+        return all(
+            outcome.settlement.neighborhood_utility >= -1e-9
+            for outcome in self.outcomes
+        )
+
+    def render(self) -> str:
+        return format_table(
+            ["week", "homes", "churn", "cost ($)", "PAR", "surplus ($)",
+             "defection"],
+            [week.as_row() for week in self.weeks],
+        )
+
+
+class SeasonSimulator:
+    """Multi-week Enki operation with household churn.
+
+    Each day every household's preference redraws from the Section VI
+    generator (its id and valuation factor persist).  Between weeks,
+    each household departs with probability ``churn_rate`` and is replaced
+    by a new arrival, keeping the population near its target size.
+
+    Args:
+        mechanism: The Enki instance operating the neighborhood.
+        generator: Preference distribution.
+        churn_rate: Weekly per-household departure probability.
+    """
+
+    def __init__(
+        self,
+        mechanism: Optional[EnkiMechanism] = None,
+        generator: Optional[ProfileGenerator] = None,
+        churn_rate: float = 0.05,
+    ) -> None:
+        if not 0.0 <= churn_rate <= 1.0:
+            raise ValueError(f"churn rate must be in [0, 1], got {churn_rate}")
+        self.mechanism = mechanism if mechanism is not None else EnkiMechanism()
+        self.generator = generator if generator is not None else ProfileGenerator()
+        self.churn_rate = churn_rate
+
+    def run(
+        self,
+        n_households: int,
+        weeks: int,
+        seed: Optional[int] = None,
+        keep_outcomes: bool = True,
+    ) -> SeasonResult:
+        """Operate the neighborhood for ``weeks`` weeks."""
+        if n_households < 1:
+            raise ValueError(f"need at least one household, got {n_households}")
+        if weeks < 1:
+            raise ValueError(f"need at least one week, got {weeks}")
+        py_rng = random.Random(seed)
+        np_rng = np.random.default_rng(spawn_seed(py_rng))
+
+        # Persistent household identities: id -> valuation factor.
+        next_id = n_households
+        roster: Dict[str, float] = {
+            f"hh{i:04d}": float(np_rng.uniform(1.0, 10.0))
+            for i in range(n_households)
+        }
+
+        weekly: List[WeeklyKpis] = []
+        all_outcomes: List[DayOutcome] = []
+        for week in range(weeks):
+            start_size = len(roster)
+            costs: List[float] = []
+            pars: List[float] = []
+            surpluses: List[float] = []
+            defections = 0
+            decisions = 0
+            for _ in range(DAYS_PER_WEEK):
+                households = []
+                for hid, rho in roster.items():
+                    profile = self.generator.sample(np_rng, hid)
+                    households.append(
+                        HouseholdType(hid, profile.wide, valuation_factor=rho)
+                    )
+                neighborhood = Neighborhood.of(*households)
+                outcome = self.mechanism.run_day(
+                    neighborhood, rng=random.Random(spawn_seed(py_rng))
+                )
+                settlement = outcome.settlement
+                costs.append(settlement.total_cost)
+                pars.append(settlement.load_profile.peak_to_average_ratio())
+                surpluses.append(settlement.neighborhood_utility)
+                for hid in roster:
+                    decisions += 1
+                    if outcome.defected(hid):
+                        defections += 1
+                if keep_outcomes:
+                    all_outcomes.append(outcome)
+
+            # Weekly churn: departures replaced by new arrivals.
+            departing = [
+                hid for hid in list(roster) if py_rng.random() < self.churn_rate
+            ]
+            for hid in departing:
+                del roster[hid]
+            for _ in departing:
+                roster[f"hh{next_id:04d}"] = float(np_rng.uniform(1.0, 10.0))
+                next_id += 1
+
+            weekly.append(
+                WeeklyKpis(
+                    week=week,
+                    n_households_start=start_size,
+                    joins=len(departing),
+                    departures=len(departing),
+                    mean_cost=sum(costs) / len(costs),
+                    mean_par=sum(pars) / len(pars),
+                    mean_surplus=sum(surpluses) / len(surpluses),
+                    defection_rate=defections / decisions if decisions else 0.0,
+                )
+            )
+        return SeasonResult(weeks=weekly, outcomes=all_outcomes)

@@ -1,0 +1,20 @@
+"""Statistics substrate: descriptive summaries and hypothesis tests."""
+
+from .bootstrap import BootstrapCI, bootstrap_ci
+from .descriptive import MeanCI, mean_ci, sample_mean, sample_std
+from .mannwhitney import MannWhitneyResult, mann_whitney_u, u_statistic
+from .wilcoxon import WilcoxonResult, wilcoxon_signed_rank
+
+__all__ = [
+    "MeanCI",
+    "mean_ci",
+    "sample_mean",
+    "sample_std",
+    "MannWhitneyResult",
+    "mann_whitney_u",
+    "u_statistic",
+    "WilcoxonResult",
+    "wilcoxon_signed_rank",
+    "BootstrapCI",
+    "bootstrap_ci",
+]

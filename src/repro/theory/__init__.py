@@ -1,0 +1,42 @@
+"""Executable counterparts of the paper's Section V theorems."""
+
+from .bayes_nash import BayesNashEstimate, estimate_bayes_nash_regret
+from .payment_properties import (
+    PropertyCheck,
+    check_all_properties,
+    check_property_1,
+    check_property_2,
+    check_property_3,
+)
+from .bestresponse import (
+    BestResponseResult,
+    best_response_sweep,
+    candidate_windows,
+)
+from .properties import (
+    ParticipationGain,
+    budget_balance_margin,
+    find_negative_utility_day,
+    incentive_regret,
+    pareto_efficiency_ratio,
+    participation_gain,
+)
+
+__all__ = [
+    "BayesNashEstimate",
+    "estimate_bayes_nash_regret",
+    "PropertyCheck",
+    "check_all_properties",
+    "check_property_1",
+    "check_property_2",
+    "check_property_3",
+    "BestResponseResult",
+    "best_response_sweep",
+    "candidate_windows",
+    "ParticipationGain",
+    "budget_balance_margin",
+    "find_negative_utility_day",
+    "incentive_regret",
+    "pareto_efficiency_ratio",
+    "participation_gain",
+]

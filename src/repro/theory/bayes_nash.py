@@ -1,0 +1,124 @@
+"""Distributional incentive-compatibility probe (Theorem 2, properly).
+
+Figure 7 checks one fixed world.  Weak *Bayesian* incentive compatibility
+is a statement in expectation over opponents' types: truth-telling should
+maximize a household's *expected* utility when the others' preferences are
+drawn from the population distribution.  This module estimates exactly
+that: sample many §VI worlds around a fixed target household, sweep the
+target's reportable windows in each, and aggregate the regret of
+truth-telling across worlds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.intervals import Interval
+from ..core.mechanism import EnkiMechanism
+from ..core.types import HouseholdType, Neighborhood, Preference
+from ..sim.profiles import ProfileGenerator
+from ..sim.rng import spawn_seed
+from .bestresponse import Window, best_response_sweep
+
+
+@dataclass
+class BayesNashEstimate:
+    """Monte-Carlo evidence on weak Bayesian incentive compatibility."""
+
+    target_window: Window
+    worlds: int
+    mean_regret: float
+    max_regret: float
+    truthful_best_fraction: float
+    mean_utilities: Dict[Window, float]
+
+    @property
+    def expected_best_window(self) -> Window:
+        """The report maximizing the *expected* utility across worlds."""
+        return max(self.mean_utilities, key=lambda w: self.mean_utilities[w])
+
+    def truthful_maximizes_expectation(self, tolerance: float = 1e-9) -> bool:
+        """The weak-Bayesian-IC claim: truth maximizes expected utility."""
+        best = self.mean_utilities[self.expected_best_window]
+        return best <= self.mean_utilities[self.target_window] + tolerance
+
+
+def estimate_bayes_nash_regret(
+    target: HouseholdType,
+    n_opponents: int = 20,
+    worlds: int = 10,
+    repeats_per_world: int = 2,
+    exploration: Optional[Interval] = None,
+    generator: Optional[ProfileGenerator] = None,
+    mechanism: Optional[EnkiMechanism] = None,
+    seed: Optional[int] = None,
+) -> BayesNashEstimate:
+    """Estimate the target's expected regret for truth-telling.
+
+    Args:
+        target: The probed household (its true preference stays fixed).
+        n_opponents: Opponents per sampled world, drawn from the Section VI
+            distribution with their narrow windows as truths.
+        worlds: Independent opponent draws to average over.
+        repeats_per_world: Allocation-randomness repeats inside each world.
+        exploration: Range of candidate reported windows; defaults to the
+            target's true window padded by 2 hours each side.
+        generator: Opponent type distribution (§VI defaults).
+        mechanism: Enki instance (§VI defaults).
+        seed: Master seed.
+
+    Returns:
+        Per-window expected utilities plus regret aggregates.
+    """
+    if worlds < 1:
+        raise ValueError(f"worlds must be >= 1, got {worlds}")
+    generator = generator if generator is not None else ProfileGenerator()
+    mechanism = mechanism if mechanism is not None else EnkiMechanism()
+    master = random.Random(seed)
+    np_rng = np.random.default_rng(spawn_seed(master))
+
+    if exploration is None:
+        window = target.true_preference.window
+        exploration = Interval(max(0, window.start - 2), min(24, window.end + 2))
+
+    sums: Dict[Window, float] = {}
+    regrets: List[float] = []
+    truthful_best = 0
+    truthful_window = (
+        target.true_preference.window.start,
+        target.true_preference.window.end,
+    )
+
+    for _ in range(worlds):
+        opponents = generator.sample_population(np_rng, n_opponents, id_prefix="opp")
+        households = [target] + [
+            profile.as_household("narrow") for profile in opponents
+        ]
+        neighborhood = Neighborhood.of(*households)
+        sweep = best_response_sweep(
+            neighborhood,
+            target.household_id,
+            mechanism=mechanism,
+            exploration=exploration,
+            repeats=repeats_per_world,
+            seed=spawn_seed(master),
+        )
+        for window, utility in sweep.utilities.items():
+            sums[window] = sums.get(window, 0.0) + utility
+        regrets.append(sweep.regret())
+        if sweep.truthful_is_best(tolerance=1e-9):
+            truthful_best += 1
+
+    mean_utilities = {window: total / worlds for window, total in sums.items()}
+    return BayesNashEstimate(
+        target_window=truthful_window,
+        worlds=worlds,
+        mean_regret=sum(regrets) / worlds,
+        max_regret=max(regrets),
+        truthful_best_fraction=truthful_best / worlds,
+        mean_utilities=mean_utilities,
+    )

@@ -1,0 +1,126 @@
+"""Best-response exploration: the Figure 7 machinery.
+
+Fix one household, keep everyone else truthful, and sweep every window the
+household could report (all ``[a, b)`` with ``b - a >= v`` inside some
+exploration range).  For each candidate the day is simulated end to end —
+allocation, closest-feasible consumption (the household defects back into
+its true window when its allocation misses it), settlement — and the
+household's quasilinear utility is averaged over repeated runs to wash out
+allocation tie-breaking.  Weak Bayesian incentive compatibility predicts
+the truthful report maximizes this curve.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.intervals import HOURS_PER_DAY, Interval
+from ..core.mechanism import EnkiMechanism, truthful_reports
+from ..core.types import HouseholdId, Neighborhood, Preference, Report
+from ..sim.rng import spawn_seed
+
+#: A candidate reported window, as the paper's (beginning, ending) pair.
+Window = Tuple[int, int]
+
+
+@dataclass
+class BestResponseResult:
+    """Mean utility of every candidate report for the target household."""
+
+    target: HouseholdId
+    utilities: Dict[Window, float]
+    truthful_window: Window
+    repeats: int
+
+    @property
+    def best_window(self) -> Window:
+        """The report with the highest mean utility."""
+        return max(self.utilities, key=lambda w: self.utilities[w])
+
+    @property
+    def truthful_utility(self) -> float:
+        return self.utilities[self.truthful_window]
+
+    @property
+    def best_utility(self) -> float:
+        return self.utilities[self.best_window]
+
+    def truthful_is_best(self, tolerance: float = 1e-9) -> bool:
+        """True when no candidate beats truth-telling by more than ``tolerance``."""
+        return self.best_utility <= self.truthful_utility + tolerance
+
+    def regret(self) -> float:
+        """How much utility truth-telling leaves on the table (>= 0)."""
+        return max(0.0, self.best_utility - self.truthful_utility)
+
+
+def candidate_windows(
+    duration: int,
+    exploration: Optional[Interval] = None,
+) -> List[Window]:
+    """All windows of length >= duration inside the exploration interval."""
+    bounds = exploration if exploration is not None else Interval(0, HOURS_PER_DAY)
+    windows: List[Window] = []
+    for begin in range(bounds.start, bounds.end - duration + 1):
+        for end in range(begin + duration, bounds.end + 1):
+            windows.append((begin, end))
+    return windows
+
+
+def best_response_sweep(
+    neighborhood: Neighborhood,
+    target: HouseholdId,
+    mechanism: Optional[EnkiMechanism] = None,
+    exploration: Optional[Interval] = None,
+    repeats: int = 10,
+    seed: Optional[int] = None,
+) -> BestResponseResult:
+    """Sweep the target household's reportable windows (Figure 7).
+
+    Args:
+        neighborhood: Household types; everyone but ``target`` reports
+            truthfully.
+        target: The household whose best response is explored.
+        mechanism: The Enki instance to evaluate under (defaults fresh).
+        exploration: Range of candidate windows; the target's *true* window
+            when omitted is not assumed — the full day is swept unless this
+            narrows it (the paper sweeps the wide interval).
+        repeats: Days averaged per candidate (the paper uses 10).
+        seed: Master seed; each (candidate, repeat) gets a child seed so
+            candidates face identical tie-break randomness per repeat.
+    """
+    if target not in neighborhood:
+        raise KeyError(f"unknown household {target!r}")
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    mechanism = mechanism if mechanism is not None else EnkiMechanism()
+
+    true_pref = neighborhood[target].true_preference
+    duration = true_pref.duration
+    windows = candidate_windows(duration, exploration)
+
+    base_reports = truthful_reports(neighborhood)
+    master = random.Random(seed)
+    repeat_seeds = [spawn_seed(master) for _ in range(repeats)]
+
+    utilities: Dict[Window, float] = {}
+    for begin, end in windows:
+        candidate = Preference(Interval(begin, end), duration)
+        reports = dict(base_reports)
+        reports[target] = Report(target, candidate)
+        total = 0.0
+        for repeat_seed in repeat_seeds:
+            outcome = mechanism.run_day(
+                neighborhood, reports, rng=random.Random(repeat_seed)
+            )
+            total += outcome.settlement.utilities[target]
+        utilities[(begin, end)] = total / repeats
+
+    return BestResponseResult(
+        target=target,
+        utilities=utilities,
+        truthful_window=(true_pref.window.start, true_pref.window.end),
+        repeats=repeats,
+    )

@@ -1,0 +1,171 @@
+"""Empirical checkers for the paper's Section V economic properties.
+
+Each theorem gets an executable counterpart:
+
+* Theorem 1 (ex ante budget balance): ``budget_balance_margin`` verifies
+  ``sum(p) - kappa = (xi - 1) * kappa >= 0`` on any settled day.
+* Theorem 2 (weak Bayesian IC): delegated to
+  :mod:`repro.theory.bestresponse` — ``incentive_regret`` summarizes it.
+* Theorem 3 (weak Pareto efficiency): ``pareto_efficiency_ratio`` compares
+  the total true valuation under Enki's greedy equilibrium allocation with
+  the best achievable total valuation.
+* Theorem 4 (no individual rationality): ``find_negative_utility_day``
+  searches generated neighborhoods for a household with negative utility.
+* Theorems 5-6 (participation incentives): ``participation_gain`` compares
+  expected utilities with Enki against the proportional price-taking
+  counterfactual, overall and for the most flexible household.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.flexibility import predicted_flexibility
+from ..core.mechanism import DayOutcome, EnkiMechanism, truthful_reports
+from ..core.types import Neighborhood
+from ..core.valuation import max_valuation
+from ..mechanisms.proportional import ProportionalMechanism
+from ..sim.profiles import ProfileGenerator, neighborhood_from_profiles
+from .bestresponse import BestResponseResult, best_response_sweep
+
+
+def budget_balance_margin(outcome: DayOutcome) -> float:
+    """Theorem 1: the center's surplus ``sum(p) - kappa``; >= 0 means balanced."""
+    settlement = outcome.settlement
+    return sum(settlement.payments.values()) - settlement.total_cost
+
+
+def pareto_efficiency_ratio(
+    neighborhood: Neighborhood,
+    mechanism: Optional[EnkiMechanism] = None,
+    rng: Optional[random.Random] = None,
+) -> float:
+    """Theorem 3: achieved fraction of the maximum total true valuation.
+
+    Under truthful equilibrium reports every allocation inside the reported
+    window satisfies the true preference fully, so the achieved total
+    valuation is compared against the unconstrained maximum
+    ``sum_i rho_i * v_i / 2``; 1.0 means fully Pareto efficient on the
+    valuation side.
+    """
+    mechanism = mechanism if mechanism is not None else EnkiMechanism()
+    outcome = mechanism.run_day(neighborhood, rng=rng)
+    achieved = sum(outcome.settlement.valuations.values())
+    maximum = sum(
+        max_valuation(hh.duration, hh.valuation_factor) for hh in neighborhood
+    )
+    if maximum <= 0:
+        raise ValueError("neighborhood has no positive valuations to compare")
+    return achieved / maximum
+
+
+def incentive_regret(
+    neighborhood: Neighborhood,
+    target: str,
+    repeats: int = 10,
+    seed: Optional[int] = None,
+) -> BestResponseResult:
+    """Theorem 2 probe: the target's regret for truth-telling (see Fig 7)."""
+    return best_response_sweep(
+        neighborhood, target, repeats=repeats, seed=seed
+    )
+
+
+def find_negative_utility_day(
+    n_households: int = 20,
+    max_days: int = 50,
+    seed: Optional[int] = None,
+) -> Optional[Tuple[DayOutcome, str]]:
+    """Theorem 4: hunt for a household with negative utility under Enki.
+
+    Generates fresh neighborhoods until some truthful, cooperative
+    household ends a day with ``U_i < 0`` (valuations are private but
+    payments track the peak, so low-rho households can go under).
+
+    Returns:
+        The offending day and household id, or ``None`` if none was found
+        within ``max_days`` (which would itself be evidence worth noting).
+    """
+    generator = ProfileGenerator()
+    np_rng = np.random.default_rng(seed)
+    mechanism = EnkiMechanism()
+    for day in range(max_days):
+        profiles = generator.sample_population(np_rng, n_households)
+        neighborhood = neighborhood_from_profiles(profiles, "wide")
+        outcome = mechanism.run_day(neighborhood, rng=random.Random(day))
+        for hid, utility in outcome.settlement.utilities.items():
+            if utility < 0:
+                return outcome, hid
+    return None
+
+
+@dataclass
+class ParticipationGain:
+    """Theorems 5-6: expected utilities with and without Enki."""
+
+    mean_utility_enki: float
+    mean_utility_baseline: float
+    flexible_utility_enki: float
+    flexible_utility_baseline: float
+    flexible_household: str
+
+    @property
+    def mean_gain(self) -> float:
+        """Theorem 5's claim is that this is >= 0."""
+        return self.mean_utility_enki - self.mean_utility_baseline
+
+    @property
+    def flexible_gain(self) -> float:
+        """Theorem 6's claim is that this is >= 0."""
+        return self.flexible_utility_enki - self.flexible_utility_baseline
+
+
+def participation_gain(
+    neighborhood: Neighborhood,
+    days: int = 10,
+    seed: Optional[int] = None,
+) -> ParticipationGain:
+    """Average per-household utility under Enki vs the price-taking baseline.
+
+    Both regimes see the same neighborhood for ``days`` settled days; the
+    baseline is :class:`~repro.mechanisms.proportional.ProportionalMechanism`
+    (Section V-D's non-participation model, everyone consuming at its
+    preferred slot).
+    """
+    if days < 1:
+        raise ValueError(f"days must be >= 1, got {days}")
+    enki = EnkiMechanism()
+    baseline = ProportionalMechanism()
+    rng = random.Random(seed)
+
+    reports = truthful_reports(neighborhood)
+    flexibility = predicted_flexibility(
+        {hid: report.preference for hid, report in reports.items()}
+    )
+    flexible_household = max(flexibility, key=lambda hid: flexibility[hid])
+
+    enki_total = 0.0
+    base_total = 0.0
+    enki_flex = 0.0
+    base_flex = 0.0
+    for day in range(days):
+        day_rng = random.Random(rng.randrange(2**63))
+        enki_outcome = enki.run_day(neighborhood, rng=day_rng)
+        base_outcome = baseline.run_day(neighborhood, rng=day_rng)
+        enki_total += sum(enki_outcome.settlement.utilities.values())
+        base_total += sum(base_outcome.utilities.values())
+        enki_flex += enki_outcome.settlement.utilities[flexible_household]
+        base_flex += base_outcome.utilities[flexible_household]
+
+    n = len(neighborhood)
+    return ParticipationGain(
+        mean_utility_enki=enki_total / (days * n),
+        mean_utility_baseline=base_total / (days * n),
+        flexible_utility_enki=enki_flex / days,
+        flexible_utility_baseline=base_flex / days,
+        flexible_household=flexible_household,
+    )

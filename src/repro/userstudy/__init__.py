@@ -1,0 +1,73 @@
+"""User-study substrate: the Section VII game, subjects and analysis."""
+
+from .analysis import (
+    STAGES,
+    STAGE_ORDER,
+    TrueIntervalAnalysis,
+    average_defection_rates,
+    average_flexibility_series,
+    defection_count,
+    defection_mann_whitney,
+    defection_rate,
+    flexibility_series,
+    treatment_defection_rates,
+    true_interval_analysis,
+    true_interval_paired_test,
+    true_interval_selecting_ratio,
+)
+from .calculator import (
+    CalculatorGuidedSubject,
+    PayoffCalculator,
+    PayoffEstimate,
+)
+from .game import (
+    ROUNDS_PER_SESSION,
+    ArtificialAgentScript,
+    GameSession,
+    SessionResult,
+    SubjectRoundLog,
+)
+from .subjects import (
+    GoodSubject,
+    LearningSubject,
+    RandomSubject,
+    RoundExperience,
+    SubjectModel,
+    TruthfulSubject,
+    default_subject_pool,
+)
+from .treatments import StudyResult, StudySubjectRecord, run_study
+
+__all__ = [
+    "STAGES",
+    "STAGE_ORDER",
+    "average_defection_rates",
+    "defection_count",
+    "defection_rate",
+    "defection_mann_whitney",
+    "treatment_defection_rates",
+    "true_interval_selecting_ratio",
+    "true_interval_analysis",
+    "true_interval_paired_test",
+    "TrueIntervalAnalysis",
+    "flexibility_series",
+    "average_flexibility_series",
+    "PayoffCalculator",
+    "PayoffEstimate",
+    "CalculatorGuidedSubject",
+    "ROUNDS_PER_SESSION",
+    "ArtificialAgentScript",
+    "GameSession",
+    "SessionResult",
+    "SubjectRoundLog",
+    "SubjectModel",
+    "TruthfulSubject",
+    "RandomSubject",
+    "LearningSubject",
+    "GoodSubject",
+    "RoundExperience",
+    "default_subject_pool",
+    "StudyResult",
+    "StudySubjectRecord",
+    "run_study",
+]

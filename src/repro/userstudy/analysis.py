@@ -1,0 +1,165 @@
+"""Analysis pipeline for the user study (Tables II-IV, Figures 8-9).
+
+Stage definitions follow Section VII-D exactly: Overall = Rounds 1-16,
+Initial = 1-4, Defect = 1-8 (the artificial agents' defection window),
+Cooperate = 9-16 (all agents cooperate).  Rounds are 0-indexed internally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..stats.mannwhitney import MannWhitneyResult, mann_whitney_u
+from ..stats.wilcoxon import WilcoxonResult, wilcoxon_signed_rank
+from .treatments import StudyResult, StudySubjectRecord
+
+#: The paper's stages as half-open 0-indexed round ranges.
+STAGES: Dict[str, Tuple[int, int]] = {
+    "Overall": (0, 16),
+    "Initial": (0, 4),
+    "Defect": (0, 8),
+    "Cooperate": (8, 16),
+}
+
+#: Column order used by the paper's tables.
+STAGE_ORDER = ("Overall", "Initial", "Defect", "Cooperate")
+
+
+def stage_rounds(stage: str) -> int:
+    """Number of rounds in a stage."""
+    start, end = STAGES[stage]
+    return end - start
+
+
+def defection_count(record: StudySubjectRecord, stage: str) -> int:
+    """Rounds within the stage in which the subject defected."""
+    start, end = STAGES[stage]
+    return sum(
+        1 for log in record.logs if start <= log.round_index < end and log.defected
+    )
+
+
+def defection_rate(record: StudySubjectRecord, stage: str) -> float:
+    """The subject's defection rate within a stage."""
+    return defection_count(record, stage) / stage_rounds(stage)
+
+
+def average_defection_rates(study: StudyResult) -> Dict[str, float]:
+    """Table II: average defection rate of all subjects per stage."""
+    return {
+        stage: sum(defection_rate(s, stage) for s in study.subjects)
+        / len(study.subjects)
+        for stage in STAGE_ORDER
+    }
+
+
+def defection_mann_whitney(study: StudyResult) -> Dict[str, MannWhitneyResult]:
+    """Table III: is defection rarer than a random coin per stage?
+
+    Sample 1 holds each subject's defection count; Sample 2 assumes random
+    defection, i.e. every element is half the stage's round count.  The
+    paper reports two-sided p-values.
+    """
+    results: Dict[str, MannWhitneyResult] = {}
+    for stage in STAGE_ORDER:
+        sample1 = [float(defection_count(s, stage)) for s in study.subjects]
+        sample2 = [stage_rounds(stage) / 2.0] * len(study.subjects)
+        results[stage] = mann_whitney_u(sample1, sample2, alternative="two-sided")
+    return results
+
+
+def treatment_defection_rates(study: StudyResult) -> Dict[int, Dict[str, float]]:
+    """Table IV: average defection rate per treatment per stage."""
+    rates: Dict[int, Dict[str, float]] = {}
+    for treatment in (1, 2):
+        group = study.by_treatment(treatment)
+        rates[treatment] = {
+            stage: sum(defection_rate(s, stage) for s in group) / len(group)
+            for stage in STAGE_ORDER
+        }
+    return rates
+
+
+def true_interval_selecting_ratio(record: StudySubjectRecord, stage: str) -> float:
+    """Fraction of the stage's rounds with the exact true interval submitted."""
+    start, end = STAGES[stage]
+    hits = sum(
+        1
+        for log in record.logs
+        if start <= log.round_index < end and log.chose_exact_true_interval
+    )
+    return hits / stage_rounds(stage)
+
+
+@dataclass
+class TrueIntervalAnalysis:
+    """Figure 8: per-subject selecting ratios, Initial vs Cooperate."""
+
+    subjects: List[int]
+    initial_ratios: List[float]
+    cooperate_ratios: List[float]
+    test: MannWhitneyResult
+
+    @property
+    def mean_initial(self) -> float:
+        return sum(self.initial_ratios) / len(self.initial_ratios)
+
+    @property
+    def mean_cooperate(self) -> float:
+        return sum(self.cooperate_ratios) / len(self.cooperate_ratios)
+
+
+def true_interval_analysis(study: StudyResult) -> TrueIntervalAnalysis:
+    """Figure 8's RQ2 test, excluding non-understanding subjects.
+
+    The paper removed the four subjects who reported not understanding the
+    game and tested whether the remaining 16 select their true interval
+    more often in Cooperate than in Initial (one-sided: Initial < Cooperate).
+    """
+    included = [s for s in study.subjects if s.understanding != "none"]
+    initial = [true_interval_selecting_ratio(s, "Initial") for s in included]
+    cooperate = [true_interval_selecting_ratio(s, "Cooperate") for s in included]
+    test = mann_whitney_u(initial, cooperate, alternative="less")
+    return TrueIntervalAnalysis(
+        subjects=[s.study_subject_id for s in included],
+        initial_ratios=initial,
+        cooperate_ratios=cooperate,
+        test=test,
+    )
+
+
+def true_interval_paired_test(study: StudyResult) -> WilcoxonResult:
+    """Paired companion to Figure 8's test.
+
+    Each subject contributes its own (Initial, Cooperate) selecting-ratio
+    pair, so the Wilcoxon signed-rank test is the statistically natural
+    choice; the paper applied the unpaired Mann-Whitney instead.  Both are
+    provided so the two analyses can be compared.
+    """
+    included = [s for s in study.subjects if s.understanding != "none"]
+    initial = [true_interval_selecting_ratio(s, "Initial") for s in included]
+    cooperate = [true_interval_selecting_ratio(s, "Cooperate") for s in included]
+    return wilcoxon_signed_rank(initial, cooperate, alternative="less")
+
+
+def flexibility_series(record: StudySubjectRecord) -> List[float]:
+    """Figure 9: the subject's per-round flexibility ratio.
+
+    ``|submitted ∩ true| / |true|``: zero when the submission leaves the
+    true window entirely (a defection-bound report), one when the subject
+    submits exactly its true interval.
+    """
+    ordered = sorted(record.logs, key=lambda log: log.round_index)
+    return [log.flexibility_ratio for log in ordered]
+
+
+def average_flexibility_series(records: Sequence[StudySubjectRecord]) -> List[float]:
+    """Round-by-round mean flexibility ratio over a subject group."""
+    if not records:
+        raise ValueError("need at least one record to average")
+    series = [flexibility_series(record) for record in records]
+    length = min(len(s) for s in series)
+    return [
+        sum(s[index] for s in series) / len(series) for index in range(length)
+    ]

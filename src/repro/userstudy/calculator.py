@@ -1,0 +1,213 @@
+"""The what-if payoff calculator handed to study subjects.
+
+Section VII-B: "To reduce complexity, we provide subjects a calculator to
+help them estimate their payoffs from different intervals before they
+submit an interval."  This module implements that tool: given the
+subject's true preference and a model of the rest of the neighborhood
+(by default, the previous round's reports), it simulates the settlement
+for each candidate submission and returns the estimated utilities.
+
+Beyond reproducing the study artifact, the calculator doubles as a
+decision aid a real deployment would ship, and powers the
+:class:`CalculatorGuidedSubject` model — a subject who behaves exactly as
+rationally as the tool allows.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.intervals import HOURS_PER_DAY, Interval
+from ..core.mechanism import EnkiMechanism, closest_feasible_consumption
+from ..core.types import (
+    ConsumptionMap,
+    HouseholdId,
+    HouseholdType,
+    Neighborhood,
+    Preference,
+    Report,
+)
+from .subjects import RoundExperience, SubjectModel
+
+#: A candidate window as a (begin, end) pair.
+Window = Tuple[int, int]
+
+
+@dataclass
+class PayoffEstimate:
+    """The calculator's estimate for one candidate submission."""
+
+    window: Window
+    utility: float
+    would_defect: bool
+    payment: float
+
+
+class PayoffCalculator:
+    """Simulates candidate submissions against an assumed neighborhood.
+
+    Args:
+        mechanism: The mechanism the game runs (the subject's simulations
+            use the same rules, as the study's tool did).
+        repeats: Simulated days per candidate (averages tie-breaking).
+    """
+
+    def __init__(
+        self, mechanism: Optional[EnkiMechanism] = None, repeats: int = 2
+    ) -> None:
+        if repeats < 1:
+            raise ValueError(f"repeats must be >= 1, got {repeats}")
+        self.mechanism = mechanism if mechanism is not None else EnkiMechanism()
+        self.repeats = repeats
+
+    def estimate(
+        self,
+        subject: HouseholdType,
+        true_preference: Preference,
+        assumed_others: Sequence[Tuple[HouseholdType, Preference]],
+        candidates: Optional[Sequence[Window]] = None,
+        seed: Optional[int] = None,
+    ) -> List[PayoffEstimate]:
+        """Estimate the subject's payoff for each candidate submission.
+
+        Args:
+            subject: The subject's household type (its id and rho).
+            true_preference: The subject's granted true preference (drives
+                the automated consumption and the valuation).
+            assumed_others: The assumed neighbors: their types and the
+                windows they are expected to submit (e.g. last round's).
+            candidates: Windows to evaluate; all windows within +/- 3 hours
+                of the true window when omitted.
+            seed: Simulation seed.
+
+        Returns:
+            Estimates sorted best-utility-first.
+        """
+        duration = true_preference.duration
+        if candidates is None:
+            lo = max(0, true_preference.window.start - 3)
+            hi = min(HOURS_PER_DAY, true_preference.window.end + 3)
+            candidates = [
+                (begin, end)
+                for begin in range(lo, hi - duration + 1)
+                for end in range(begin + duration, hi + 1)
+            ]
+
+        rng = random.Random(seed)
+        others_households = [household for household, _ in assumed_others]
+        neighborhood = Neighborhood.of(
+            subject.with_preference(true_preference), *others_households
+        )
+        base_reports: Dict[HouseholdId, Report] = {
+            household.household_id: Report(household.household_id, submitted)
+            for household, submitted in assumed_others
+        }
+
+        estimates: List[PayoffEstimate] = []
+        for begin, end in candidates:
+            candidate = Preference(Interval(begin, end), duration)
+            reports = dict(base_reports)
+            reports[subject.household_id] = Report(subject.household_id, candidate)
+            utility_total = 0.0
+            payment_total = 0.0
+            defected = False
+            for _ in range(self.repeats):
+                allocation = self.mechanism.allocate(
+                    neighborhood, reports, random.Random(rng.randrange(2**63))
+                ).allocation
+                consumption: ConsumptionMap = {}
+                for household in neighborhood:
+                    true = (
+                        true_preference
+                        if household.household_id == subject.household_id
+                        else household.true_preference
+                    )
+                    consumption[household.household_id] = (
+                        closest_feasible_consumption(
+                            true.window,
+                            true.duration,
+                            allocation[household.household_id],
+                        )
+                    )
+                settlement = self.mechanism.settle(
+                    neighborhood, reports, allocation, consumption
+                )
+                utility_total += settlement.utilities[subject.household_id]
+                payment_total += settlement.payments[subject.household_id]
+                if (
+                    consumption[subject.household_id]
+                    != allocation[subject.household_id]
+                ):
+                    defected = True
+            estimates.append(
+                PayoffEstimate(
+                    window=(begin, end),
+                    utility=utility_total / self.repeats,
+                    would_defect=defected,
+                    payment=payment_total / self.repeats,
+                )
+            )
+        estimates.sort(key=lambda e: -e.utility)
+        return estimates
+
+
+class CalculatorGuidedSubject(SubjectModel):
+    """A subject that always submits what the calculator recommends.
+
+    Models the study's *intended* rational participant: before each round
+    it evaluates its options against an assumed neighborhood (its own
+    previous true preference peers are unknown to it, so it assumes a
+    small truthful crowd around the evening peak) and submits the
+    top-ranked window.
+    """
+
+    understanding = "good"
+
+    def __init__(
+        self,
+        calculator: Optional[PayoffCalculator] = None,
+        assumed_crowd: int = 6,
+    ) -> None:
+        if assumed_crowd < 1:
+            raise ValueError(f"assumed_crowd must be >= 1, got {assumed_crowd}")
+        self.calculator = calculator if calculator is not None else PayoffCalculator()
+        self.assumed_crowd = assumed_crowd
+
+    def submit(
+        self,
+        round_index: int,
+        true_preference: Preference,
+        history: List[RoundExperience],
+        rng: random.Random,
+    ) -> Preference:
+        subject = HouseholdType("self", true_preference, 5.0)
+        assumed = [
+            (
+                HouseholdType(f"assumed{i}", Preference.of(17 + i % 3, 23, 2), 5.0),
+                Preference.of(17 + i % 3, 23, 2),
+            )
+            for i in range(self.assumed_crowd)
+        ]
+        # Subjects are told they "may lose points by defection", and a
+        # submission inside the true window can never defect, whatever the
+        # real neighborhood turns out to be.  The rational tool-user
+        # therefore only weighs the safe candidates — the calculator's job
+        # is to pick *how much* flexibility to reveal among them.
+        window = true_preference.window
+        duration = true_preference.duration
+        candidates = [
+            (begin, end)
+            for begin in range(window.start, window.end - duration + 1)
+            for end in range(begin + duration, window.end + 1)
+        ]
+        estimates = self.calculator.estimate(
+            subject,
+            true_preference,
+            assumed,
+            candidates=candidates,
+            seed=rng.randrange(2**63),
+        )
+        begin, end = estimates[0].window
+        return Preference(Interval(begin, end), true_preference.duration)

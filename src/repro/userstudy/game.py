@@ -1,0 +1,275 @@
+"""The Section VII online game: 16 rounds of Enki with scored feedback.
+
+Each session pits the subjects against artificial agents inside one Enki
+neighborhood.  Per round:
+
+1. every participant gets a true preference (subjects keep theirs for four
+   rounds so they can learn; agents redraw every round);
+2. subjects submit a window, agents follow their scripted policy (half
+   defect during Rounds 1-8, all cooperate in Rounds 9-16);
+3. Enki allocates; consumption is automated to the closest feasible
+   placement inside the true window (defection happens exactly when the
+   allocation misses the true window);
+4. the day settles and each participant's quasilinear utility is
+   transformed to a 0-100 score relative to the round's utility spread;
+5. subjects see their own score history (their models read it back).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.intervals import HOURS_PER_DAY, Interval
+from ..core.mechanism import EnkiMechanism, closest_feasible_consumption
+from ..core.types import (
+    ConsumptionMap,
+    HouseholdId,
+    HouseholdType,
+    Neighborhood,
+    Preference,
+    Report,
+)
+from ..sim.profiles import ProfileGenerator
+from ..sim.rng import spawn_seed
+from .subjects import RoundExperience, SubjectModel
+
+#: Rounds in a session (the paper's game length).
+ROUNDS_PER_SESSION = 16
+
+#: Subjects receive a fresh true preference every this many rounds.
+SUBJECT_PREFERENCE_PERIOD = 4
+
+
+def draw_true_preference(generator: ProfileGenerator, np_rng) -> Preference:
+    """A granted true preference with slack.
+
+    The study hands each participant "a true interval and a duration"; the
+    Figure 9 flexibility ratios (strictly between 0 and 1) imply the true
+    interval is wider than the duration, so participants can choose *how
+    much* of their flexibility to reveal.  We pad the generator's narrow
+    window by 1-3 hours.
+    """
+    narrow = generator.sample(np_rng, "draw").narrow
+    pad = int(np_rng.integers(1, 4))
+    end = min(HOURS_PER_DAY, narrow.window.end + pad)
+    start = max(0, narrow.window.start - max(0, pad - (end - narrow.window.end)))
+    return Preference(Interval(start, end), narrow.duration)
+
+
+@dataclass
+class ArtificialAgentScript:
+    """A scripted neighbor: cooperates or defects per the session plan.
+
+    The paper's control: half the agents defect in Rounds 1-8 and all
+    cooperate in Rounds 9-16.  A defecting agent misreports by shifting
+    its submitted window so its allocation can miss its true window.
+    """
+
+    agent_id: str
+    defect_rounds: range
+    shift: int = 3
+
+    def submits(self, round_index: int, true_preference: Preference,
+                rng: random.Random) -> Preference:
+        if round_index in self.defect_rounds:
+            duration = true_preference.duration
+            window = true_preference.window
+            direction = rng.choice([-1, 1])
+            start = window.start + direction * self.shift
+            start = max(0, min(start, HOURS_PER_DAY - duration))
+            end = max(start + duration, min(window.end + direction * self.shift,
+                                            HOURS_PER_DAY))
+            return Preference(Interval(start, end), duration)
+        return true_preference
+
+
+@dataclass
+class SubjectRoundLog:
+    """One subject's full record of one round (the analysis input)."""
+
+    subject_index: int
+    round_index: int
+    true_preference: Preference
+    submitted: Preference
+    allocation: Interval
+    consumption: Interval
+    defected: bool
+    utility: float
+    score: float
+
+    @property
+    def chose_exact_true_interval(self) -> bool:
+        """Did the subject submit exactly its true interval? (RQ2)"""
+        return self.submitted == self.true_preference
+
+    @property
+    def flexibility_ratio(self) -> float:
+        """``|submitted ∩ true| / |true|`` — the Figure 9 metric."""
+        true_window = self.true_preference.window
+        return self.submitted.window.overlap(true_window) / true_window.length
+
+
+@dataclass
+class SessionResult:
+    """All subject round logs of one session."""
+
+    treatment: int
+    session_index: int
+    logs: List[SubjectRoundLog] = field(default_factory=list)
+
+    def subject_logs(self, subject_index: int) -> List[SubjectRoundLog]:
+        return [log for log in self.logs if log.subject_index == subject_index]
+
+
+def _scores_from_utilities(utilities: Dict[HouseholdId, float]) -> Dict[HouseholdId, float]:
+    """Affine map of a round's utilities onto [0, 100].
+
+    The paper "transform[s] each subject's utility into a score between
+    zero and 100"; we anchor the round's worst participant at 0 and best at
+    100 (everyone at 50 when utilities tie), which preserves the ordering
+    feedback subjects learn from.
+    """
+    values = list(utilities.values())
+    low, high = min(values), max(values)
+    if high - low < 1e-12:
+        return {hid: 50.0 for hid in utilities}
+    return {
+        hid: 100.0 * (value - low) / (high - low)
+        for hid, value in utilities.items()
+    }
+
+
+class GameSession:
+    """One study session: a set of subjects plus scripted agents.
+
+    Args:
+        subjects: The human-subject models in this session.
+        n_agents: Scripted artificial agents added as controls (6 in
+            Treatment 1 sessions, 4 in Treatment 2).
+        mechanism: Enki instance; defaults to paper parameters.
+        generator: Draws true preferences (narrow windows are the granted
+            "true interval").
+    """
+
+    def __init__(
+        self,
+        subjects: Sequence[SubjectModel],
+        n_agents: int,
+        mechanism: Optional[EnkiMechanism] = None,
+        generator: Optional[ProfileGenerator] = None,
+    ) -> None:
+        if not subjects:
+            raise ValueError("a session needs at least one subject")
+        if n_agents < 0:
+            raise ValueError(f"n_agents cannot be negative, got {n_agents}")
+        self.subjects = list(subjects)
+        self.n_agents = n_agents
+        self.mechanism = mechanism if mechanism is not None else EnkiMechanism()
+        self.generator = generator if generator is not None else ProfileGenerator()
+
+    def play(
+        self,
+        treatment: int,
+        session_index: int,
+        seed: Optional[int] = None,
+        rounds: int = ROUNDS_PER_SESSION,
+    ) -> SessionResult:
+        """Play one full session and return the subject logs."""
+        import numpy as np
+
+        rng = random.Random(seed)
+        np_rng = np.random.default_rng(spawn_seed(rng))
+
+        agents = [
+            ArtificialAgentScript(
+                agent_id=f"agent{a}",
+                # Half the agents defect during the first 8 rounds.
+                defect_rounds=range(0, 8) if a < self.n_agents // 2 else range(0),
+            )
+            for a in range(self.n_agents)
+        ]
+        histories: List[List[RoundExperience]] = [[] for _ in self.subjects]
+        result = SessionResult(treatment=treatment, session_index=session_index)
+
+        subject_prefs: List[Preference] = []
+        agent_prefs: Dict[str, Preference] = {}
+        subject_rho: List[float] = [
+            float(np_rng.uniform(1.0, 10.0)) for _ in self.subjects
+        ]
+
+        for round_index in range(rounds):
+            # Redraw true preferences: subjects every 4 rounds, agents always.
+            if round_index % SUBJECT_PREFERENCE_PERIOD == 0:
+                subject_prefs = [
+                    draw_true_preference(self.generator, np_rng)
+                    for _ in range(len(self.subjects))
+                ]
+            agent_prefs = {
+                agent.agent_id: draw_true_preference(self.generator, np_rng)
+                for agent in agents
+            }
+
+            households: List[HouseholdType] = []
+            reports: Dict[HouseholdId, Report] = {}
+            for s, subject in enumerate(self.subjects):
+                hid = f"subject{s}"
+                true_pref = subject_prefs[s]
+                households.append(
+                    HouseholdType(hid, true_pref, valuation_factor=subject_rho[s])
+                )
+                submitted = subject.submit(
+                    round_index, true_pref, histories[s], rng
+                )
+                reports[hid] = Report(hid, submitted)
+            for agent in agents:
+                true_pref = agent_prefs[agent.agent_id]
+                households.append(
+                    HouseholdType(agent.agent_id, true_pref, valuation_factor=5.0)
+                )
+                reports[agent.agent_id] = Report(
+                    agent.agent_id, agent.submits(round_index, true_pref, rng)
+                )
+
+            neighborhood = Neighborhood.of(*households)
+            allocation_result = self.mechanism.allocate(
+                neighborhood, reports, random.Random(spawn_seed(rng))
+            )
+            consumption: ConsumptionMap = {}
+            for household in neighborhood:
+                true = household.true_preference
+                consumption[household.household_id] = closest_feasible_consumption(
+                    true.window,
+                    true.duration,
+                    allocation_result.allocation[household.household_id],
+                )
+            settlement = self.mechanism.settle(
+                neighborhood, reports, allocation_result.allocation, consumption
+            )
+            scores = _scores_from_utilities(settlement.utilities)
+
+            for s, subject in enumerate(self.subjects):
+                hid = f"subject{s}"
+                log = SubjectRoundLog(
+                    subject_index=s,
+                    round_index=round_index,
+                    true_preference=subject_prefs[s],
+                    submitted=reports[hid].preference,
+                    allocation=allocation_result.allocation[hid],
+                    consumption=consumption[hid],
+                    defected=consumption[hid] != allocation_result.allocation[hid],
+                    utility=settlement.utilities[hid],
+                    score=scores[hid],
+                )
+                result.logs.append(log)
+                histories[s].append(
+                    RoundExperience(
+                        round_index=round_index,
+                        true_preference=subject_prefs[s],
+                        submitted=log.submitted,
+                        defected=log.defected,
+                        score=log.score,
+                    )
+                )
+        return result

@@ -1,0 +1,278 @@
+"""Simulated participants for the Section VII user-study game.
+
+The paper ran 20 human subjects through a 16-round game.  We substitute
+parameterized behaviour models that encode the regularities the paper
+reports (see DESIGN.md, substitutions):
+
+* four subjects "had not understood the game at all: they randomly
+  submitted an interval in each round" — :class:`RandomSubject`;
+* most subjects learned: they explored misreports early (the Initial
+  stage's higher defection rate) and drifted toward their exact true
+  interval as scores taught them defection loses points —
+  :class:`LearningSubject`;
+* two subjects (P7, P8) "understood the game well": they defect often in
+  Rounds 1-8 and then stick to their exact true interval —
+  :class:`GoodSubject`.
+
+A *submission* here is the reported window; the game then allocates within
+it and automates consumption to the closest feasible placement inside the
+true window, so a submission whose allocation misses the true window is
+what realizes a defection.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.intervals import HOURS_PER_DAY, Interval
+from ..core.types import Preference
+
+
+@dataclass
+class RoundExperience:
+    """What a participant can remember about one played round."""
+
+    round_index: int
+    true_preference: Preference
+    submitted: Preference
+    defected: bool
+    score: float
+
+
+class SubjectModel(abc.ABC):
+    """A simulated study participant.
+
+    Attributes:
+        understanding: Self-reported understanding from the post-study
+            questionnaire: ``"none"``, ``"intermediate"`` or ``"good"``.
+            The RQ2 analysis excludes the ``"none"`` group, as the paper
+            did with its four non-understanding subjects.
+    """
+
+    understanding: str = "intermediate"
+
+    @abc.abstractmethod
+    def submit(
+        self,
+        round_index: int,
+        true_preference: Preference,
+        history: List[RoundExperience],
+        rng: random.Random,
+    ) -> Preference:
+        """Choose the window to submit this round (duration is fixed)."""
+
+    @staticmethod
+    def _clamp_window(start: int, end: int, duration: int) -> Preference:
+        start = max(0, min(start, HOURS_PER_DAY - duration))
+        end = max(start + duration, min(end, HOURS_PER_DAY))
+        return Preference(Interval(start, end), duration)
+
+
+class TruthfulSubject(SubjectModel):
+    """Always submits exactly the true interval (a control model)."""
+
+    understanding = "good"
+
+    def submit(
+        self,
+        round_index: int,
+        true_preference: Preference,
+        history: List[RoundExperience],
+        rng: random.Random,
+    ) -> Preference:
+        return true_preference
+
+
+class RandomSubject(SubjectModel):
+    """Submits a uniformly random valid window each round.
+
+    Models the four questionnaire respondents who reported not
+    understanding the game at all.
+    """
+
+    understanding = "none"
+
+    def __init__(self, anchor_slack: int = 2, truth_bias: float = 0.3) -> None:
+        if anchor_slack < 0:
+            raise ValueError(f"anchor slack cannot be negative, got {anchor_slack}")
+        if not 0.0 <= truth_bias <= 1.0:
+            raise ValueError(f"truth bias must be in [0, 1], got {truth_bias}")
+        self.anchor_slack = anchor_slack
+        self.truth_bias = truth_bias
+
+    def submit(
+        self,
+        round_index: int,
+        true_preference: Preference,
+        history: List[RoundExperience],
+        rng: random.Random,
+    ) -> Preference:
+        # Even a confused subject stares at its displayed true interval:
+        # sometimes it just submits the shown default...
+        if rng.random() < self.truth_bias:
+            return true_preference
+        # ...otherwise the random window is anchored near it rather than
+        # uniform over the day (uniform placement would defect nearly
+        # every round).
+        duration = true_preference.duration
+        width = rng.randint(duration, min(HOURS_PER_DAY, duration + 4))
+        anchor = true_preference.window.start + rng.randint(
+            -self.anchor_slack, self.anchor_slack
+        )
+        start = max(0, min(anchor, HOURS_PER_DAY - width))
+        return Preference(Interval(start, start + width), duration)
+
+
+class LearningSubject(SubjectModel):
+    """Explores misreports early, converges to truth as scores teach it.
+
+    Keeps a running average score for exploratory (misreported) rounds and
+    for truthful rounds; each round it explores with a probability that
+    starts at ``explore_start`` and shrinks both with time and whenever
+    truthful rounds have scored at least as well as exploration.
+    """
+
+    understanding = "intermediate"
+
+    def __init__(
+        self,
+        explore_start: float = 0.5,
+        explore_decay: float = 0.8,
+        max_shift: int = 3,
+        exact_base: float = 0.3,
+        exact_gain: float = 0.02,
+    ) -> None:
+        if not 0 <= explore_start <= 1:
+            raise ValueError(f"explore_start must be in [0, 1], got {explore_start}")
+        if not 0 < explore_decay <= 1:
+            raise ValueError(f"explore_decay must be in (0, 1], got {explore_decay}")
+        if not 0 <= exact_base <= 1:
+            raise ValueError(f"exact_base must be in [0, 1], got {exact_base}")
+        if exact_gain < 0:
+            raise ValueError(f"exact_gain cannot be negative, got {exact_gain}")
+        self.explore_start = explore_start
+        self.explore_decay = explore_decay
+        self.max_shift = max_shift
+        self.exact_base = exact_base
+        self.exact_gain = exact_gain
+
+    def _explore_probability(self, history: List[RoundExperience]) -> float:
+        probability = self.explore_start * self.explore_decay ** len(history)
+        truthful_scores = [
+            e.score for e in history if e.submitted == e.true_preference
+        ]
+        explore_scores = [
+            e.score for e in history if e.submitted != e.true_preference
+        ]
+        if truthful_scores and explore_scores:
+            if sum(truthful_scores) / len(truthful_scores) >= sum(
+                explore_scores
+            ) / len(explore_scores):
+                # The data says honesty pays: cut exploration sharply.
+                probability *= 0.5
+            else:
+                probability = min(1.0, probability * 1.5)
+        return probability
+
+    def submit(
+        self,
+        round_index: int,
+        true_preference: Preference,
+        history: List[RoundExperience],
+        rng: random.Random,
+    ) -> Preference:
+        if rng.random() >= self._explore_probability(history):
+            # Playing safe: stay inside the true window, revealing a
+            # fraction of its width that grows as the game is understood —
+            # the paper's subjects picked their *exact* true interval in
+            # only 23.75% (Initial) to 37.5% (Cooperate) of rounds, with
+            # the average revealed flexibility rising over the session
+            # (Figure 9's upward trend).
+            duration = true_preference.duration
+            window = true_preference.window
+            revealed = min(
+                1.0,
+                self.exact_base
+                + self.exact_gain * round_index
+                + rng.uniform(0.0, 0.4),
+            )
+            keep = duration + int(round(revealed * (window.length - duration)))
+            if keep >= window.length:
+                return true_preference
+            start = rng.randint(window.start, window.end - keep)
+            return Preference(Interval(start, start + keep), duration)
+        duration = true_preference.duration
+        window = true_preference.window
+        if rng.random() < 0.5:
+            # Shift the window away from the truth (a Theorem 2 misreport).
+            shift = rng.choice([-1, 1]) * rng.randint(1, self.max_shift)
+            return self._clamp_window(
+                window.start + shift, window.end + shift, duration
+            )
+        # Broaden the window hoping for a better (cheaper) allocation.
+        widen = rng.randint(1, self.max_shift)
+        return self._clamp_window(window.start - widen, window.end + widen, duration)
+
+
+class GoodSubject(SubjectModel):
+    """The P7/P8 pattern: heavy early defection, exact truth afterwards.
+
+    Args:
+        switch_round: First round (0-based) of consistently truthful play;
+            the paper's subjects switched around the Cooperate stage
+            (round 8).
+        explore_probability: Chance of misreporting before the switch.
+    """
+
+    understanding = "good"
+
+    def __init__(self, switch_round: int = 8, explore_probability: float = 0.55) -> None:
+        if switch_round < 0:
+            raise ValueError(f"switch_round cannot be negative, got {switch_round}")
+        if not 0 <= explore_probability <= 1:
+            raise ValueError(
+                f"explore_probability must be in [0, 1], got {explore_probability}"
+            )
+        self.switch_round = switch_round
+        self.explore_probability = explore_probability
+
+    def submit(
+        self,
+        round_index: int,
+        true_preference: Preference,
+        history: List[RoundExperience],
+        rng: random.Random,
+    ) -> Preference:
+        if round_index >= self.switch_round:
+            return true_preference
+        if rng.random() < self.explore_probability:
+            duration = true_preference.duration
+            window = true_preference.window
+            shift = rng.choice([-1, 1]) * rng.randint(2, 5)
+            return self._clamp_window(
+                window.start + shift, window.end + shift, duration
+            )
+        return true_preference
+
+
+def default_subject_pool(rng: Optional[random.Random] = None) -> List[SubjectModel]:
+    """The paper's 20-subject mix: 4 random, 14 learning, 2 well-understanding.
+
+    Learning subjects get mildly heterogeneous exploration parameters so
+    the pool is not 14 identical curves.
+    """
+    rng = rng if rng is not None else random.Random(0)
+    pool: List[SubjectModel] = [RandomSubject() for _ in range(4)]
+    for _ in range(14):
+        pool.append(
+            LearningSubject(
+                explore_start=rng.uniform(0.45, 0.8),
+                explore_decay=rng.uniform(0.65, 0.8),
+                max_shift=rng.randint(2, 4),
+            )
+        )
+    pool.extend([GoodSubject(), GoodSubject(switch_round=7)])
+    return pool

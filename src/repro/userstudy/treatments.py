@@ -1,0 +1,125 @@
+"""The Section VII study design: two treatments, four sessions each.
+
+Treatment 1 groups subjects (16 subjects across four sessions of four,
+with six artificial agents per session).  Treatment 2 isolates one subject
+per session with four artificial agents.  The paper's 20 subjects are
+represented by the default behaviour pool (4 non-understanding, 14
+learning, 2 well-understanding) dealt across the sessions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.mechanism import EnkiMechanism
+from ..sim.rng import spawn_seed
+from .game import GameSession, SessionResult, SubjectRoundLog
+from .subjects import SubjectModel, default_subject_pool
+
+#: Artificial agents per Treatment 1 session.
+T1_AGENTS = 6
+
+#: Artificial agents per Treatment 2 session.
+T2_AGENTS = 4
+
+#: Subjects per Treatment 1 session (16 subjects over four sessions).
+T1_SUBJECTS_PER_SESSION = 4
+
+
+@dataclass
+class StudySubjectRecord:
+    """One subject's identity and full 16-round log across the study."""
+
+    study_subject_id: int
+    treatment: int
+    session_index: int
+    understanding: str
+    logs: List[SubjectRoundLog] = field(default_factory=list)
+
+
+@dataclass
+class StudyResult:
+    """All 20 subjects' records (the Tables II-IV / Figures 8-9 input)."""
+
+    subjects: List[StudySubjectRecord]
+
+    def by_treatment(self, treatment: int) -> List[StudySubjectRecord]:
+        return [s for s in self.subjects if s.treatment == treatment]
+
+    def understanding_group(self, understanding: str) -> List[StudySubjectRecord]:
+        return [s for s in self.subjects if s.understanding == understanding]
+
+
+def run_study(
+    subject_pool: Optional[Sequence[SubjectModel]] = None,
+    mechanism: Optional[EnkiMechanism] = None,
+    seed: Optional[int] = None,
+) -> StudyResult:
+    """Run the full two-treatment study once.
+
+    Args:
+        subject_pool: Exactly 20 subject models; the paper's default mix
+            when omitted.  The first 16 go to Treatment 1 (four sessions of
+            four), the last 4 to Treatment 2 (one per session).
+        mechanism: Enki instance shared by all sessions.
+        seed: Master seed for the whole study.
+
+    Returns:
+        Per-subject records with per-round logs.
+    """
+    rng = random.Random(seed)
+    pool = (
+        list(subject_pool)
+        if subject_pool is not None
+        else default_subject_pool(random.Random(spawn_seed(rng)))
+    )
+    if len(pool) != 20:
+        raise ValueError(f"the study design needs exactly 20 subjects, got {len(pool)}")
+    # Deal subjects randomly into sessions, as recruitment would.
+    order = list(range(20))
+    rng.shuffle(order)
+
+    subjects: List[StudySubjectRecord] = []
+    cursor = 0
+    for session_index in range(4):
+        indices = order[cursor:cursor + T1_SUBJECTS_PER_SESSION]
+        cursor += T1_SUBJECTS_PER_SESSION
+        models = [pool[i] for i in indices]
+        session = GameSession(models, n_agents=T1_AGENTS, mechanism=mechanism)
+        result = session.play(
+            treatment=1, session_index=session_index, seed=spawn_seed(rng)
+        )
+        for local_index, pool_index in enumerate(indices):
+            subjects.append(
+                StudySubjectRecord(
+                    study_subject_id=pool_index,
+                    treatment=1,
+                    session_index=session_index,
+                    understanding=pool[pool_index].understanding,
+                    logs=result.subject_logs(local_index),
+                )
+            )
+
+    for session_index in range(4):
+        pool_index = order[cursor]
+        cursor += 1
+        session = GameSession(
+            [pool[pool_index]], n_agents=T2_AGENTS, mechanism=mechanism
+        )
+        result = session.play(
+            treatment=2, session_index=session_index, seed=spawn_seed(rng)
+        )
+        subjects.append(
+            StudySubjectRecord(
+                study_subject_id=pool_index,
+                treatment=2,
+                session_index=session_index,
+                understanding=pool[pool_index].understanding,
+                logs=result.subject_logs(0),
+            )
+        )
+
+    subjects.sort(key=lambda record: record.study_subject_id)
+    return StudyResult(subjects=subjects)

@@ -1,0 +1,137 @@
+"""Tests for the Section II baselines: DLC, RTP and the landscape table."""
+
+import random
+
+import pytest
+
+from repro.core.types import HouseholdType, Neighborhood, Preference
+from repro.experiments import baseline_landscape
+from repro.mechanisms.dlc import DirectLoadControl
+from repro.mechanisms.rtp import RealTimePricingControl
+
+
+def _peaky_neighborhood(n=8):
+    return Neighborhood.of(
+        *(
+            HouseholdType(f"hh{i}", Preference.of(18, 22, 2), 5.0)
+            for i in range(n)
+        )
+    )
+
+
+class TestDirectLoadControl:
+    def test_cap_enforced_on_served_profile(self):
+        dlc = DirectLoadControl(cap_kw=6.0)
+        dlc.run_day(_peaky_neighborhood(), rng=random.Random(0))
+        served = dlc.last_details.served_profile
+        assert served.peak_kw <= 6.0 + 1e-9
+
+    def test_shedding_creates_unserved_demand(self):
+        dlc = DirectLoadControl(cap_kw=6.0)
+        dlc.run_day(_peaky_neighborhood(), rng=random.Random(0))
+        details = dlc.last_details
+        assert details.unserved_fraction > 0.0
+        assert details.shed_events > 0
+
+    def test_generous_cap_sheds_nothing(self):
+        dlc = DirectLoadControl(cap_kw=1000.0)
+        result = dlc.run_day(_peaky_neighborhood(), rng=random.Random(0))
+        assert dlc.last_details.unserved_fraction == 0.0
+        assert all(p > 0 for p in result.payments.values())
+
+    def test_shed_households_lose_valuation(self):
+        dlc = DirectLoadControl(cap_kw=4.0)  # only 2 of 8 homes per hour
+        result = dlc.run_day(_peaky_neighborhood(), rng=random.Random(1))
+        # Someone was shed, so some valuation is below the maximum 5.0.
+        assert min(result.valuations.values()) < 5.0
+
+    def test_payments_cover_cost(self):
+        dlc = DirectLoadControl(cap_kw=6.0, xi=1.2)
+        result = dlc.run_day(_peaky_neighborhood(), rng=random.Random(2))
+        assert sum(result.payments.values()) == pytest.approx(
+            1.2 * result.total_cost
+        )
+
+    def test_bad_cap_rejected(self):
+        with pytest.raises(ValueError):
+            DirectLoadControl(cap_kw=0.0)
+
+
+class TestRealTimePricing:
+    def test_day0_everyone_at_preferred_slot(self):
+        rtp = RealTimePricingControl()
+        rtp.reset()
+        # Flat signal: each household's cheapest block ties everywhere, so
+        # placements are random but valid.
+        result = rtp.run_day(_peaky_neighborhood(), rng=random.Random(0))
+        for hid, interval in result.consumption.items():
+            assert 18 <= interval.start and interval.end <= 22
+
+    def test_price_signal_updates_from_load(self):
+        rtp = RealTimePricingControl()
+        rtp.reset()
+        rtp.run_day(_peaky_neighborhood(), rng=random.Random(0))
+        signal = rtp.last_details.price_signal
+        assert max(signal) > 0.0
+        assert signal[3] == 0.0  # nobody consumes at 3am
+
+    def test_herding_moves_the_peak(self):
+        # Windows wide enough to flee: the crowd chases the cheapest hours
+        # and the peak hour should move at least once over the episode.
+        households = [
+            HouseholdType(f"hh{i}", Preference.of(14, 24, 2), 5.0)
+            for i in range(12)
+        ]
+        neighborhood = Neighborhood.of(*households)
+        rtp = RealTimePricingControl()
+        peaks = []
+        rtp.reset()
+        for day in range(6):
+            rtp.run_day(neighborhood, rng=random.Random(day))
+            peaks.append(rtp.last_details.peak_hour)
+        assert len(set(peaks)) >= 2
+
+    def test_run_days_resets_state(self):
+        rtp = RealTimePricingControl()
+        results = rtp.run_days(_peaky_neighborhood(), days=3, seed=0)
+        assert len(results) == 3
+
+    def test_invalid_days_rejected(self):
+        with pytest.raises(ValueError):
+            RealTimePricingControl().run_days(_peaky_neighborhood(), days=0)
+
+
+class TestLandscapeExperiment:
+    @pytest.fixture(scope="class")
+    def landscape(self):
+        return baseline_landscape.run(n_households=15, days=4, seed=5)
+
+    def test_all_four_mechanisms_present(self, landscape):
+        names = {row.mechanism for row in landscape.rows}
+        assert names == {"no-control", "dlc", "rtp", "enki"}
+
+    def test_dlc_flattens_but_sheds(self, landscape):
+        dlc = landscape.row("dlc")
+        base = landscape.row("no-control")
+        assert dlc.mean_peak_kw <= base.mean_peak_kw + 1e-9
+        assert dlc.unserved_fraction > 0.0
+
+    def test_enki_serves_everyone_with_low_peak(self, landscape):
+        enki = landscape.row("enki")
+        base = landscape.row("no-control")
+        assert enki.unserved_fraction == 0.0
+        assert enki.mean_peak_kw <= base.mean_peak_kw + 1e-9
+        assert enki.mean_cost <= base.mean_cost + 1e-9
+
+    def test_render(self, landscape):
+        rendered = landscape.render()
+        assert "unserved" in rendered
+        assert "enki" in rendered
+
+    def test_unknown_row_rejected(self, landscape):
+        with pytest.raises(KeyError):
+            landscape.row("telepathy")
+
+    def test_too_few_days_rejected(self):
+        with pytest.raises(ValueError):
+            baseline_landscape.run(days=1)

@@ -1,0 +1,118 @@
+"""Tests for the payoff calculator and the conservation extension."""
+
+import random
+
+import pytest
+
+from repro.core.mechanism import EnkiMechanism
+from repro.core.types import HouseholdType, Neighborhood, Preference
+from repro.extensions.conservation import (
+    ConservationEnki,
+    conservation_summary,
+)
+from repro.userstudy.calculator import (
+    CalculatorGuidedSubject,
+    PayoffCalculator,
+)
+
+
+def _assumed_crowd(n=5):
+    return [
+        (
+            HouseholdType(f"a{i}", Preference.of(18, 22, 2), 5.0),
+            Preference.of(18, 22, 2),
+        )
+        for i in range(n)
+    ]
+
+
+class TestPayoffCalculator:
+    def test_estimates_are_sorted_best_first(self):
+        calculator = PayoffCalculator(EnkiMechanism(), repeats=2)
+        subject = HouseholdType("me", Preference.of(18, 21, 2), 5.0)
+        estimates = calculator.estimate(
+            subject, subject.true_preference, _assumed_crowd(), seed=0
+        )
+        utilities = [e.utility for e in estimates]
+        assert utilities == sorted(utilities, reverse=True)
+
+    def test_truthful_candidate_included_and_never_defects(self):
+        calculator = PayoffCalculator(EnkiMechanism(), repeats=2)
+        subject = HouseholdType("me", Preference.of(18, 21, 2), 5.0)
+        estimates = calculator.estimate(
+            subject, subject.true_preference, _assumed_crowd(), seed=1
+        )
+        truthful = next(e for e in estimates if e.window == (18, 21))
+        assert not truthful.would_defect
+        assert truthful.payment > 0.0
+
+    def test_misreport_away_flags_defection(self):
+        calculator = PayoffCalculator(EnkiMechanism(), repeats=1)
+        subject = HouseholdType("me", Preference.of(18, 20, 2), 5.0)
+        estimates = calculator.estimate(
+            subject,
+            subject.true_preference,
+            _assumed_crowd(),
+            candidates=[(15, 17)],
+            seed=2,
+        )
+        assert estimates[0].would_defect
+
+    def test_repeats_validated(self):
+        with pytest.raises(ValueError):
+            PayoffCalculator(repeats=0)
+
+    def test_calculator_guided_subject_submits_valid_window(self, rng):
+        subject_model = CalculatorGuidedSubject(
+            PayoffCalculator(EnkiMechanism(), repeats=1), assumed_crowd=3
+        )
+        pref = Preference.of(18, 21, 2)
+        submitted = subject_model.submit(0, pref, [], rng)
+        assert submitted.duration == 2
+
+    def test_guided_subject_validation(self):
+        with pytest.raises(ValueError):
+            CalculatorGuidedSubject(assumed_crowd=0)
+
+
+class TestConservation:
+    def _mixed_neighborhood(self):
+        # Four high-value households and two whose rho is so low that the
+        # peak payment is guaranteed to exceed their valuation.
+        households = [
+            HouseholdType(f"rich{i}", Preference.of(17, 23, 2), 9.0)
+            for i in range(4)
+        ] + [
+            HouseholdType(f"poor{i}", Preference.of(18, 21, 2), 0.2)
+            for i in range(2)
+        ]
+        return Neighborhood.of(*households)
+
+    def test_rational_participation_drops_low_value_loads(self):
+        day = ConservationEnki(EnkiMechanism()).run_day(
+            self._mixed_neighborhood(), rng=random.Random(0)
+        )
+        assert day.abstention_rate > 0.0
+        assert all(hid.startswith("poor") for hid in day.abstainers)
+        # Survivors end the day at their fixed point: nobody underwater.
+        assert day.outcome is not None
+        for hid in day.participants:
+            assert day.outcome.settlement.utilities[hid] >= -1e-9
+
+    def test_generous_tolerance_keeps_everyone(self):
+        day = ConservationEnki(EnkiMechanism(), tolerance=1e9).run_day(
+            self._mixed_neighborhood(), rng=random.Random(0)
+        )
+        assert day.abstention_rate == 0.0
+
+    def test_served_energy_shrinks_with_xi(self):
+        summary = conservation_summary(
+            self._mixed_neighborhood(), xis=(1.0, 2.0), seed=1
+        )
+        assert summary[2.0].served_energy_kwh <= summary[1.0].served_energy_kwh + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConservationEnki(tolerance=-1.0)
+        with pytest.raises(ValueError):
+            ConservationEnki(max_passes=0)

@@ -1,0 +1,39 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list_prints_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out
+        assert "tab2" in out
+
+    def test_unknown_experiment_errors(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_examples_runs(self, capsys):
+        assert main(["examples"]) == 0
+        assert "Example 1" in capsys.readouterr().out
+
+    def test_fig4_with_overrides(self, capsys):
+        code = main(
+            [
+                "fig4",
+                "--populations", "5",
+                "--days", "1",
+                "--time-limit", "2.0",
+                "--seed", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Enki PAR" in out
+
+    def test_tab2_with_seed(self, capsys):
+        assert main(["tab2", "--seed", "5"]) == 0
+        assert "Overall" in capsys.readouterr().out

@@ -1,0 +1,155 @@
+"""Cross-component integration: unusual but supported configurations."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.allocation.decentralized import BestResponseDynamicsAllocator
+from repro.allocation.local_search import LocalSearchAllocator
+from repro.allocation.optimal import BranchAndBoundAllocator
+from repro.core.mechanism import EnkiMechanism, truthful_reports
+from repro.core.types import HouseholdType, Neighborhood, Preference
+from repro.io.audit import AuditLog, summarize_audit
+from repro.market.dayahead import DayAheadMarket
+from repro.market.procurement import ProcurementPipeline
+from repro.market.supply import Generator, MeritOrderSupply
+from repro.pricing.piecewise import TwoStepPricing
+from repro.sim.profiles import ProfileGenerator, neighborhood_from_profiles
+from repro.sim.season import SeasonSimulator
+
+
+def _neighborhood(n=8, seed=3):
+    generator = ProfileGenerator()
+    profiles = generator.sample_population(np.random.default_rng(seed), n)
+    return neighborhood_from_profiles(profiles, "wide")
+
+
+class TestEnkiWithAlternativeAllocators:
+    def test_exact_solver_backed_mechanism(self):
+        mechanism = EnkiMechanism(
+            allocator=BranchAndBoundAllocator(time_limit_s=10.0, seed=0)
+        )
+        outcome = mechanism.run_day(_neighborhood(), rng=random.Random(0))
+        assert outcome.allocation_result.allocator_name == "optimal-bnb"
+        assert outcome.settlement.neighborhood_utility >= 0.0
+
+    def test_local_search_backed_mechanism(self):
+        mechanism = EnkiMechanism(allocator=LocalSearchAllocator(restarts=2, seed=0))
+        outcome = mechanism.run_day(_neighborhood(), rng=random.Random(0))
+        assert outcome.settlement.total_cost > 0
+
+    def test_decentralized_backed_mechanism(self):
+        mechanism = EnkiMechanism(allocator=BestResponseDynamicsAllocator(seed=0))
+        outcome = mechanism.run_day(_neighborhood(), rng=random.Random(0))
+        assert outcome.settlement.neighborhood_utility >= 0.0
+
+    def test_exact_allocation_never_costs_more_than_greedy(self):
+        neighborhood = _neighborhood(seed=6)
+        greedy_outcome = EnkiMechanism(seed=0).run_day(
+            neighborhood, rng=random.Random(1)
+        )
+        exact_outcome = EnkiMechanism(
+            allocator=BranchAndBoundAllocator(time_limit_s=10.0, seed=0)
+        ).run_day(neighborhood, rng=random.Random(1))
+        assert (
+            exact_outcome.allocation_result.cost
+            <= greedy_outcome.allocation_result.cost + 1e-9
+        )
+
+
+class TestEnkiWithPiecewisePricing:
+    def test_full_day_under_two_step_pricing(self):
+        pricing = TwoStepPricing(threshold_kw=8.0, low_rate=1.0, high_rate=6.0)
+        mechanism = EnkiMechanism(pricing=pricing)
+        outcome = mechanism.run_day(_neighborhood(), rng=random.Random(0))
+        # Budget-balance identity is pricing-agnostic.
+        assert outcome.settlement.neighborhood_utility == pytest.approx(
+            0.2 * outcome.settlement.total_cost
+        )
+
+
+class TestMarketWithMeritOrder:
+    def test_procurement_over_generator_stack(self):
+        supply = MeritOrderSupply(
+            [
+                Generator("hydro", capacity_kwh=8.0, marginal_cost=1.0),
+                Generator("gas", capacity_kwh=200.0, marginal_cost=4.0),
+            ]
+        )
+        pipeline = ProcurementPipeline(
+            DayAheadMarket(supply), mechanism=EnkiMechanism(seed=0)
+        )
+        neighborhood = _neighborhood(n=6, seed=4)
+        day = pipeline.run_day(
+            neighborhood, truthful_reports(neighborhood), rng=random.Random(0)
+        )
+        assert day.imbalance_cost == pytest.approx(0.0)
+        assert day.day_ahead_cost > 0.0
+
+    def test_capacity_violation_raises(self):
+        supply = MeritOrderSupply(
+            [Generator("tiny", capacity_kwh=1.0, marginal_cost=1.0)]
+        )
+        pipeline = ProcurementPipeline(
+            DayAheadMarket(supply), mechanism=EnkiMechanism(seed=0)
+        )
+        neighborhood = _neighborhood(n=6, seed=4)
+        with pytest.raises(ValueError):
+            pipeline.run_day(
+                neighborhood, truthful_reports(neighborhood), rng=random.Random(0)
+            )
+
+
+class TestSeasonWithAudit:
+    def test_audited_season(self, tmp_path):
+        log = AuditLog(str(tmp_path / "season.jsonl"))
+        simulator = SeasonSimulator(EnkiMechanism(seed=0), churn_rate=0.1)
+        season = simulator.run(n_households=5, weeks=2, seed=7)
+        for day, outcome in enumerate(season.outcomes):
+            log.log_day(day, outcome)
+        summary = summarize_audit(log)
+        assert summary.days == len(season.outcomes)
+        assert summary.budget_balanced_every_day
+        assert summary.total_revenue == pytest.approx(1.2 * summary.total_cost)
+
+
+class TestExoticNeighborhoods:
+    def test_rigid_plus_hyperflexible_mix(self):
+        households = [
+            HouseholdType("rigid", Preference.of(18, 20, 2), 5.0),
+            HouseholdType("day", Preference.of(0, 24, 4), 5.0),
+            HouseholdType("night", Preference.of(0, 8, 2), 5.0),
+        ]
+        outcome = EnkiMechanism(seed=0).run_day(
+            Neighborhood.of(*households), rng=random.Random(0)
+        )
+        # The rigid household's allocation is forced.
+        assert outcome.allocation["rigid"].start == 18
+        # The fully flexible one should not be stacked onto the peak.
+        flexibility = outcome.settlement.flexibility
+        assert flexibility["day"] > flexibility["rigid"]
+
+    def test_duration_filling_entire_day(self):
+        households = [
+            HouseholdType("always_on", Preference.of(0, 24, 24), 5.0),
+            HouseholdType("evening", Preference.of(18, 22, 2), 5.0),
+        ]
+        outcome = EnkiMechanism(seed=0).run_day(
+            Neighborhood.of(*households), rng=random.Random(0)
+        )
+        assert outcome.allocation["always_on"].length == 24
+        assert outcome.settlement.neighborhood_utility >= 0.0
+
+    def test_many_identical_households_symmetry(self):
+        pref = Preference.of(18, 23, 2)
+        households = [HouseholdType(f"h{i}", pref, 5.0) for i in range(9)]
+        outcome = EnkiMechanism(seed=0).run_day(
+            Neighborhood.of(*households), rng=random.Random(0)
+        )
+        settlement = outcome.settlement
+        # Identical truthful cooperators must be billed identically per
+        # flexibility; flexibility only differs via the shared coverage, so
+        # all scores are equal and payments split evenly.
+        payments = list(settlement.payments.values())
+        assert max(payments) - min(payments) < 1e-9

@@ -1,0 +1,95 @@
+"""Unit tests for the simulation engines."""
+
+import pytest
+
+from repro.allocation.greedy import GreedyFlexibilityAllocator
+from repro.allocation.random_alloc import RandomAllocator
+from repro.core.mechanism import EnkiMechanism
+from repro.sim.engine import (
+    NeighborhoodSimulation,
+    SocialWelfareStudy,
+)
+from repro.sim.metrics import speedup_series, summarize_records
+
+
+class TestSocialWelfareStudy:
+    def test_records_cover_all_allocators_and_days(self):
+        study = SocialWelfareStudy(
+            [GreedyFlexibilityAllocator(), RandomAllocator()]
+        )
+        records = study.run(6, days=3, seed=1)
+        assert len(records) == 2 * 3
+        assert {r.allocator for r in records} == {"enki-greedy", "random"}
+        assert {r.day for r in records} == {0, 1, 2}
+
+    def test_same_day_same_workload(self):
+        # Both allocators must face the same instance: equal total energy.
+        study = SocialWelfareStudy(
+            [GreedyFlexibilityAllocator(), RandomAllocator()]
+        )
+        records = study.run(6, days=1, seed=2)
+        # PAR can differ, but both saw 6 households.
+        assert all(r.n_households == 6 for r in records)
+
+    def test_reproducible_with_seed(self):
+        study = SocialWelfareStudy([GreedyFlexibilityAllocator()])
+        a = study.run(5, days=2, seed=3)
+        b = study.run(5, days=2, seed=3)
+        assert [r.cost for r in a] == pytest.approx([r.cost for r in b])
+
+    def test_sweep_covers_populations(self):
+        study = SocialWelfareStudy([GreedyFlexibilityAllocator()])
+        records = study.sweep([4, 6], days=2, seed=4)
+        assert {r.n_households for r in records} == {4, 6}
+
+    def test_duplicate_allocator_names_rejected(self):
+        with pytest.raises(ValueError):
+            SocialWelfareStudy(
+                [GreedyFlexibilityAllocator(), GreedyFlexibilityAllocator()]
+            )
+
+    def test_empty_allocators_rejected(self):
+        with pytest.raises(ValueError):
+            SocialWelfareStudy([])
+
+    def test_invalid_days_rejected(self):
+        study = SocialWelfareStudy([GreedyFlexibilityAllocator()])
+        with pytest.raises(ValueError):
+            study.run(5, days=0)
+
+
+class TestSummaries:
+    def test_summary_groups_and_cis(self):
+        study = SocialWelfareStudy(
+            [GreedyFlexibilityAllocator(), RandomAllocator()]
+        )
+        records = study.sweep([4, 6], days=3, seed=5)
+        points = summarize_records(records)
+        assert len(points) == 4
+        for point in points:
+            assert point.days == 3
+            assert point.par.mean > 0
+            assert point.cost.mean > 0
+
+    def test_speedup_series(self):
+        study = SocialWelfareStudy(
+            [GreedyFlexibilityAllocator(), RandomAllocator()]
+        )
+        points = summarize_records(study.sweep([4], days=2, seed=6))
+        series = speedup_series(points, fast="enki-greedy", slow="random")
+        assert len(series) == 1
+        assert series[0][0] == 4
+
+
+class TestNeighborhoodSimulation:
+    def test_truthful_multiday_run(self, small_random_neighborhood):
+        simulation = NeighborhoodSimulation(EnkiMechanism())
+        outcomes = simulation.run(small_random_neighborhood, days=3, seed=1)
+        assert len(outcomes) == 3
+        for outcome in outcomes:
+            assert outcome.settlement.neighborhood_utility >= 0.0
+
+    def test_invalid_days_rejected(self, small_random_neighborhood):
+        simulation = NeighborhoodSimulation()
+        with pytest.raises(ValueError):
+            simulation.run(small_random_neighborhood, days=0)

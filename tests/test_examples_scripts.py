@@ -1,0 +1,52 @@
+"""Smoke tests: every example script runs end to end and tells its story."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def _run_example(name: str, capsys, argv=None):
+    path = EXAMPLES_DIR / name
+    assert path.exists(), f"missing example {name}"
+    old_argv = sys.argv
+    sys.argv = [str(path)] + (argv or [])
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+class TestExampleScripts:
+    def test_quickstart(self, capsys):
+        out = _run_example("quickstart.py", capsys)
+        assert "Allocations" in out
+        assert "budget balance" in out
+        assert "pays the least" in out
+
+    def test_ev_charging(self, capsys):
+        out = _run_example("ev_charging.py", capsys)
+        assert "Uncoordinated charging" in out
+        assert "Enki-coordinated charging" in out
+        assert "cuts the neighborhood's power bill" in out
+
+    def test_neighborhood_week(self, capsys):
+        out = _run_example("neighborhood_week.py", capsys)
+        assert "weekly household ledger" in out
+        assert "shifty" in out
+        assert "ECC now predicts" in out
+
+    def test_smart_home_fleet(self, capsys):
+        out = _run_example("smart_home_fleet.py", capsys)
+        assert "Itemized bills" in out
+        assert "Revenue check" in out
+
+    @pytest.mark.slow
+    def test_user_study_replay(self, capsys):
+        out = _run_example("user_study_replay.py", capsys, argv=["5"])
+        assert "Table II" in out
+        assert "Figure 9" in out

@@ -1,0 +1,168 @@
+"""Scaled-down end-to-end runs of every experiment driver."""
+
+import pytest
+
+from repro.experiments import (
+    ablation_ordering,
+    ablation_pricing,
+    ablation_xi,
+    examples_section4,
+    fig4_par,
+    fig5_cost,
+    fig6_time,
+    fig7_incentive,
+    fig8_true_interval,
+    fig9_flexibility,
+    table2_defection,
+    table3_mannwhitney,
+    table4_treatments,
+    vcg_contrast,
+)
+from repro.experiments.social_welfare import run_social_welfare_study
+from repro.experiments.runner import EXPERIMENTS, run_all, run_experiment
+
+#: Shared small-scale social welfare run (the slow part of fig4-6).
+_SMALL = dict(populations=(6, 10), days=2, seed=1, optimal_time_limit_s=5.0)
+
+
+@pytest.fixture(scope="module")
+def small_welfare():
+    return run_social_welfare_study(**_SMALL)
+
+
+@pytest.fixture(scope="module")
+def small_study():
+    from repro.experiments.user_study_run import run_default_study
+
+    return run_default_study(seed=77)
+
+
+class TestSocialWelfareExperiments:
+    def test_fig4_series_shape(self, small_welfare):
+        result = fig4_par.extract(small_welfare)
+        assert [row.n_households for row in result.rows] == [6, 10]
+        for row in result.rows:
+            assert row.enki_par > 0 and row.optimal_par > 0
+            # Greedy cannot beat the exact solver on cost, and its PAR
+            # should track closely (the paper's "not large" difference).
+            assert abs(row.gap) < 2.0
+        assert "Enki PAR" in result.render()
+
+    def test_fig5_enki_cost_close_to_optimal(self, small_welfare):
+        result = fig5_cost.extract(small_welfare)
+        for row in result.rows:
+            assert row.enki_cost >= row.optimal_cost - 1e-9
+            assert row.relative_excess < 0.25
+        assert "Optimal cost" in result.render()
+
+    def test_fig6_optimal_slower(self, small_welfare):
+        result = fig6_time.extract(small_welfare)
+        for row in result.rows:
+            assert row.optimal_ms >= row.enki_ms
+        assert "slowdown" in result.render()
+
+
+class TestIncentiveExperiment:
+    def test_fig7_small_scale(self):
+        result = fig7_incentive.run(n_households=10, repeats=2, seed=4)
+        assert (18, 20) in result.sweep.utilities
+        assert result.sweep.truthful_window == (18, 20)
+        rendered = result.render()
+        assert "truthful" in rendered
+
+    def test_fig7_rejects_tiny_population(self):
+        with pytest.raises(ValueError):
+            fig7_incentive.build_neighborhood(1)
+
+
+class TestUserStudyExperiments:
+    def test_tab2(self, small_study):
+        result = table2_defection.extract(small_study)
+        assert set(result.rates) == {"Overall", "Initial", "Defect", "Cooperate"}
+        assert "paper" in result.render()
+
+    def test_tab3(self, small_study):
+        result = table3_mannwhitney.extract(small_study)
+        assert result.tests["Overall"].p_value <= 1.0
+        assert "p-value" in result.render()
+
+    def test_tab4(self, small_study):
+        result = table4_treatments.extract(small_study)
+        assert set(result.rates) == {1, 2}
+        assert "T1" in result.render()
+
+    def test_fig8(self, small_study):
+        result = fig8_true_interval.extract(small_study)
+        assert len(result.analysis.subjects) == 16
+        assert "Mann-Whitney" in result.render()
+
+    def test_fig9(self, small_study):
+        result = fig9_flexibility.extract(small_study)
+        assert len(result.good_series) == 2
+        assert len(result.intermediate_average) == 16
+        assert "round" in result.render()
+
+
+class TestExamplesAndAblations:
+    def test_examples_section4_properties(self):
+        result = examples_section4.run(seed=5)
+        # Example 1: equal payments.
+        p1 = result.example1.settlement.payments
+        assert p1["A"] == pytest.approx(p1["B"]) == pytest.approx(p1["C"])
+        # Example 2: A pays more.
+        p2 = result.example2.settlement.payments
+        assert p2["A"] > p2["B"] == pytest.approx(p2["C"])
+        # Example 3: A pays least.
+        p3 = result.example3.settlement.payments
+        assert p3["A"] < p3["B"]
+        # Example 4: defector B pays more.
+        p4 = result.example4.settlement.payments
+        assert p4["B"] > p4["A"]
+        assert "Example 4" in result.render()
+
+    def test_ablation_ordering_direction(self):
+        result = ablation_ordering.run(populations=(8,), days=3, seed=2)
+        enki = result.mean_cost("enki-greedy")
+        rand = result.mean_cost("random")
+        assert enki <= rand + 1e-9
+        assert "enki-greedy" in result.render()
+
+    def test_ablation_xi_monotone_surplus(self):
+        result = ablation_xi.run(xis=(1.0, 1.5), n_households=8, days=2, seed=3)
+        assert result.points[0].center_surplus <= result.points[1].center_surplus
+        assert result.points[0].center_surplus == pytest.approx(0.0, abs=1e-6)
+        assert "xi" in result.render()
+
+    def test_ablation_pricing_runs_both_models(self):
+        result = ablation_pricing.run(populations=(8,), days=2, seed=4)
+        names = {p.pricing for p in result.points}
+        assert names == {"QuadraticPricing", "TwoStepPricing"}
+        assert "PAR" in result.render()
+
+    def test_vcg_contrast_budget_story(self):
+        result = vcg_contrast.run(n_households=6, days=2, seed=5)
+        assert result.enki_always_balanced
+        assert result.mean_slowdown >= 1.0
+        assert "VCG surplus" in result.render()
+
+
+class TestRunner:
+    def test_registry_covers_all_artifacts(self):
+        for required in (
+            "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+            "tab2", "tab3", "tab4", "examples",
+        ):
+            assert required in EXPERIMENTS
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_run_experiment_returns_report(self):
+        report = run_experiment("examples")
+        assert report.experiment_id == "examples"
+        assert report.rendered
+
+    def test_run_all_subset(self):
+        reports = run_all(["examples", "tab2"], seed=5)
+        assert [r.experiment_id for r in reports] == ["examples", "tab2"]

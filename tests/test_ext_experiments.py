@@ -1,0 +1,78 @@
+"""Scaled-down runs of the extension experiments."""
+
+import pytest
+
+from repro.experiments import (
+    ablation_decentralized,
+    ext_coalitions,
+    ext_forecast_market,
+)
+
+
+class TestDecentralizedExperiment:
+    def test_runs_and_converges(self):
+        result = ablation_decentralized.run(populations=(8,), days=2, seed=1)
+        assert len(result.points) == 1
+        point = result.points[0]
+        assert point.converged_fraction == 1.0
+        assert point.relative_excess < 0.25
+        assert "best-response" in result.render()
+
+
+class TestCoalitionExperiment:
+    def test_sweeps_sizes(self):
+        result = ext_coalitions.run(sizes=(2, 3), n_households=10, days=2, seed=1)
+        assert [p.max_size for p in result.points] == [2, 3]
+        # Pre-committed zero-slack windows cannot raise flexibility.
+        for point in result.points:
+            assert point.mean_flexibility_drop >= -1e-9
+        assert "Δcost" in result.render()
+
+
+class TestConservationExperiment:
+    def test_served_energy_weakly_decreasing_in_xi(self):
+        from repro.experiments import ext_conservation
+
+        result = ext_conservation.run(
+            xis=(1.0, 2.0), n_households=8, days=2, seed=4
+        )
+        served = [p.mean_served_energy_kwh for p in result.points]
+        assert served[1] <= served[0] + 1e-9
+        assert "abstention" in result.render()
+
+
+class TestCalculatorExperiment:
+    def test_guided_pool_defects_less(self):
+        from repro.experiments import ext_calculator
+
+        result = ext_calculator.run(seed=11)
+        assert result.overall_reduction > 0.0
+        # Guided subjects only submit inside their true window, so the
+        # guided pool's defection comes from the 4 random subjects alone.
+        assert result.guided_rates["Overall"] <= 4 / 20 + 1e-9
+        assert "calculator-guided" in result.render()
+
+
+class TestForecastMarketExperiment:
+    def test_oracle_has_no_imbalance(self):
+        result = ext_forecast_market.run(n_households=6, days=6, seed=2)
+        oracle = result.row("oracle")
+        assert oracle.imbalance_cost == pytest.approx(0.0)
+        assert oracle.defection_rate == 0.0
+
+    def test_learners_pay_for_errors_but_function(self):
+        result = ext_forecast_market.run(n_households=6, days=6, seed=2)
+        for name in ("histogram", "ewma"):
+            row = result.row(name)
+            assert row.imbalance_cost >= 0.0
+            assert 0.0 <= row.defection_rate <= 1.0
+        assert "imbalance share" in result.render()
+
+    def test_unknown_row_rejected(self):
+        result = ext_forecast_market.run(n_households=4, days=3, seed=3)
+        with pytest.raises(KeyError):
+            result.row("crystal-ball")
+
+    def test_too_few_days_rejected(self):
+        with pytest.raises(ValueError):
+            ext_forecast_market.run(days=1)

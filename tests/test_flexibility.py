@@ -1,0 +1,112 @@
+"""Unit tests for flexibility scores (Eq. 4, Examples 2 and 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.flexibility import (
+    flexibility_score,
+    predicted_flexibility,
+    realized_flexibility,
+    window_coverage,
+)
+from repro.core.intervals import Interval
+from repro.core.types import Preference
+
+
+def _coverage(prefs):
+    return window_coverage({hid: p.window for hid, p in prefs.items()})
+
+
+class TestWindowCoverage:
+    def test_counts_per_hour(self):
+        prefs = {
+            "A": Preference.of(18, 19, 1),
+            "B": Preference.of(18, 20, 1),
+            "C": Preference.of(18, 20, 1),
+        }
+        coverage = _coverage(prefs)
+        assert coverage[18] == 3
+        assert coverage[19] == 2
+        assert coverage[17] == 0
+        assert coverage[20] == 0
+
+
+class TestExample2:
+    """Section IV-B3 works N_B and f_B out explicitly."""
+
+    PREFS = {
+        "A": Preference.of(18, 19, 1),
+        "B": Preference.of(18, 20, 1),
+        "C": Preference.of(18, 20, 1),
+    }
+
+    def test_fb_is_exactly_08(self):
+        coverage = _coverage(self.PREFS)
+        # N_B = (3 + 2) / 2 = 2.5; f_B = (2/1) / 2.5 = 0.8.
+        assert flexibility_score(self.PREFS["B"], coverage) == pytest.approx(0.8)
+
+    def test_narrower_household_less_flexible(self):
+        scores = predicted_flexibility(self.PREFS)
+        assert scores["A"] < scores["B"] == pytest.approx(scores["C"])
+
+
+class TestExample3:
+    """Off-peak windows score higher than wider peak windows."""
+
+    PREFS = {
+        "A": Preference.of(16, 18, 2),
+        "B": Preference.of(18, 21, 2),
+        "C": Preference.of(18, 21, 2),
+    }
+
+    def test_offpeak_a_most_flexible(self):
+        scores = predicted_flexibility(self.PREFS)
+        assert scores["B"] == pytest.approx(scores["C"])
+        assert scores["B"] < scores["A"]
+
+    def test_exact_values(self):
+        scores = predicted_flexibility(self.PREFS)
+        assert scores["A"] == pytest.approx(1.0)
+        assert scores["B"] == pytest.approx(0.75)
+
+
+class TestRealizedFlexibility:
+    def test_defector_forfeits_flexibility(self):
+        prefs = {
+            "A": Preference.of(18, 20, 1),
+            "B": Preference.of(18, 20, 1),
+        }
+        allocation = {"A": Interval(18, 19), "B": Interval(19, 20)}
+        consumption = {"A": Interval(18, 19), "B": Interval(18, 19)}
+        scores = realized_flexibility(prefs, allocation, consumption)
+        assert scores["A"] > 0
+        assert scores["B"] == 0.0
+
+    def test_cooperators_keep_predicted_scores(self):
+        prefs = {
+            "A": Preference.of(18, 20, 1),
+            "B": Preference.of(18, 20, 1),
+        }
+        allocation = {"A": Interval(18, 19), "B": Interval(19, 20)}
+        scores = realized_flexibility(prefs, allocation, dict(allocation))
+        predicted = predicted_flexibility(prefs)
+        assert scores == pytest.approx(predicted)
+
+
+class TestValidation:
+    def test_zero_coverage_rejected(self):
+        pref = Preference.of(18, 20, 1)
+        with pytest.raises(ValueError):
+            flexibility_score(pref, np.zeros(24))
+
+    def test_wider_truthful_window_scores_higher_all_else_equal(self):
+        # Property 1's flexibility side: same peers, wider own window.
+        narrow = {
+            "X": Preference.of(18, 20, 2),
+            "P": Preference.of(10, 14, 2),
+        }
+        wide = {
+            "X": Preference.of(17, 21, 2),
+            "P": Preference.of(10, 14, 2),
+        }
+        assert predicted_flexibility(wide)["X"] > predicted_flexibility(narrow)["X"]

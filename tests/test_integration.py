@@ -1,0 +1,178 @@
+"""End-to-end integration scenarios across the whole stack."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.agents.behavior import MisreportBehavior, StubbornBehavior, TruthfulBehavior
+from repro.agents.ecc import EccBehavior, EccUnit
+from repro.agents.household import HouseholdAgent
+from repro.agents.neighborhood import NeighborhoodController
+from repro.core.mechanism import EnkiMechanism
+from repro.core.types import HouseholdType, Neighborhood, Preference
+from repro.mechanisms.proportional import ProportionalMechanism
+from repro.sim.engine import NeighborhoodSimulation
+from repro.sim.profiles import ProfileGenerator, neighborhood_from_profiles
+
+
+def _agents(n, behavior_factory, prefix="hh", begin=17, end=23, duration=2):
+    return [
+        HouseholdAgent(
+            HouseholdType(f"{prefix}{i}", Preference.of(begin, end, duration), 5.0),
+            behavior_factory(),
+        )
+        for i in range(n)
+    ]
+
+
+class TestWeekLongNeighborhood:
+    def test_mixed_population_week(self):
+        """A week with truthful, misreporting, stubborn and ECC households."""
+        agents = (
+            _agents(4, TruthfulBehavior)
+            + [
+                HouseholdAgent(
+                    HouseholdType("mis0", Preference.of(18, 20, 2), 5.0),
+                    MisreportBehavior(shift=-3),
+                ),
+                HouseholdAgent(
+                    HouseholdType("stub0", Preference.of(17, 21, 2), 5.0),
+                    StubbornBehavior(),
+                ),
+                HouseholdAgent(
+                    HouseholdType("ecc0", Preference.of(16, 22, 2), 5.0),
+                    EccBehavior(EccUnit("ecc0")),
+                ),
+            ]
+        )
+        controller = NeighborhoodController(agents, EnkiMechanism())
+        outcomes = controller.run_days(7, seed=42)
+
+        # Budget balance holds every single day (Theorem 1).
+        for outcome in outcomes:
+            assert outcome.settlement.neighborhood_utility >= -1e-9
+
+        # Truthful agents never defect.
+        for agent in agents[:4]:
+            assert agent.defection_rate() == 0.0
+
+        # The ECC has learned the household's stable pattern by day 7.
+        ecc_agent = agents[-1]
+        assert ecc_agent.behavior.ecc.forecaster.n_observations == 7
+
+    def test_defectors_pay_more_over_a_week(self):
+        """Property 3 at the week level: a stubborn twin pays more."""
+        agents = _agents(6, TruthfulBehavior) + [
+            HouseholdAgent(
+                HouseholdType("twin_t", Preference.of(18, 22, 2), 5.0),
+                TruthfulBehavior(),
+            ),
+            HouseholdAgent(
+                HouseholdType("twin_s", Preference.of(18, 22, 2), 5.0),
+                StubbornBehavior(),
+            ),
+        ]
+        controller = NeighborhoodController(agents, EnkiMechanism())
+        controller.run_days(10, seed=11)
+        truthful_twin = next(a for a in agents if a.household_id == "twin_t")
+        stubborn_twin = next(a for a in agents if a.household_id == "twin_s")
+        truthful_paid = sum(log.payment for log in truthful_twin.history)
+        stubborn_paid = sum(log.payment for log in stubborn_twin.history)
+        # The stubborn twin defects whenever its allocation differs from its
+        # favourite slot, and those days cost it strictly more.
+        if stubborn_twin.defection_rate() > 0:
+            assert stubborn_paid > truthful_paid
+
+
+class TestEnkiVsNoCoordination:
+    def test_enki_lowers_cost_on_peaky_neighborhood(self):
+        """The headline DSM claim: Enki's peak cost beats price-taking."""
+        households = [
+            HouseholdType(f"hh{i}", Preference.of(17, 23, 2), 5.0) for i in range(10)
+        ]
+        neighborhood = Neighborhood.of(*households)
+        enki_outcome = EnkiMechanism().run_day(
+            neighborhood, rng=random.Random(0)
+        )
+        baseline = ProportionalMechanism().run_day(
+            neighborhood, rng=random.Random(0)
+        )
+        assert enki_outcome.settlement.total_cost < baseline.total_cost
+        enki_par = enki_outcome.settlement.load_profile.peak_to_average_ratio()
+        assert enki_par <= 24.0  # sanity
+
+    def test_flat_demand_leaves_nothing_to_optimize(self):
+        """With disjoint rigid windows both regimes coincide."""
+        households = [
+            HouseholdType(f"hh{i}", Preference.of(2 * i, 2 * i + 2, 2), 5.0)
+            for i in range(6)
+        ]
+        neighborhood = Neighborhood.of(*households)
+        enki_outcome = EnkiMechanism().run_day(neighborhood, rng=random.Random(0))
+        baseline = ProportionalMechanism().run_day(
+            neighborhood, rng=random.Random(0)
+        )
+        assert enki_outcome.settlement.total_cost == pytest.approx(
+            baseline.total_cost
+        )
+
+
+class TestFailureInjection:
+    def test_every_household_defecting_still_settles(self):
+        """Worst case: everyone misreports and defects; invariants hold."""
+        agents = [
+            HouseholdAgent(
+                HouseholdType(f"hh{i}", Preference.of(18, 21, 2), 5.0),
+                MisreportBehavior(shift=-5),
+            )
+            for i in range(6)
+        ]
+        controller = NeighborhoodController(agents, EnkiMechanism())
+        outcome = controller.run_day(random.Random(1))
+        settlement = outcome.settlement
+        assert sum(settlement.payments.values()) == pytest.approx(
+            1.2 * settlement.total_cost
+        )
+        # All-defector day: flexibility all zero, normalization falls back
+        # to the neutral midpoint and payments stay finite and positive.
+        assert all(p > 0 for p in settlement.payments.values())
+
+    def test_single_household_neighborhood(self):
+        """Degenerate n=1 world runs end to end."""
+        agents = _agents(1, TruthfulBehavior)
+        controller = NeighborhoodController(agents, EnkiMechanism())
+        outcome = controller.run_day(random.Random(0))
+        hid = agents[0].household_id
+        assert outcome.settlement.payments[hid] == pytest.approx(
+            1.2 * outcome.settlement.total_cost
+        )
+
+    def test_zero_slack_everyone(self):
+        """Windows equal to durations: allocation is forced, still settles."""
+        households = [
+            HouseholdType(f"hh{i}", Preference.of(18, 20, 2), 5.0) for i in range(5)
+        ]
+        neighborhood = Neighborhood.of(*households)
+        outcome = EnkiMechanism().run_day(neighborhood, rng=random.Random(0))
+        for hid in neighborhood.ids():
+            assert outcome.allocation[hid].start == 18
+        # Full pile-up: cost is 5 households * 2 kW stacked for 2 hours.
+        assert outcome.settlement.total_cost == pytest.approx(0.3 * 2 * 100.0)
+
+
+class TestSimulationEngineEndToEnd:
+    def test_section6_style_run(self):
+        """A miniature of the paper's Section VI loop, fully wired."""
+        generator = ProfileGenerator()
+        profiles = generator.sample_population(np.random.default_rng(0), 12)
+        neighborhood = neighborhood_from_profiles(profiles, "wide")
+        simulation = NeighborhoodSimulation(EnkiMechanism())
+        outcomes = simulation.run(neighborhood, days=5, seed=3)
+        pars = [
+            o.settlement.load_profile.peak_to_average_ratio() for o in outcomes
+        ]
+        assert all(1.0 <= par <= 24.0 for par in pars)
+        assert all(
+            o.settlement.neighborhood_utility >= -1e-9 for o in outcomes
+        )

@@ -1,0 +1,127 @@
+"""Unit tests for the time-grid and interval substrate."""
+
+import pytest
+
+from repro.core.intervals import (
+    HOURS,
+    HOURS_PER_DAY,
+    Interval,
+    IntervalError,
+    block,
+    feasible_starts,
+    placements,
+)
+
+
+class TestIntervalConstruction:
+    def test_grid_has_24_hours(self):
+        assert HOURS_PER_DAY == 24
+        assert HOURS == tuple(range(24))
+
+    def test_valid_interval(self):
+        interval = Interval(18, 22)
+        assert interval.length == 4
+        assert not interval.is_empty
+
+    def test_boundary_24_is_valid_end(self):
+        assert Interval(20, 24).length == 4
+
+    def test_empty_interval(self):
+        assert Interval(5, 5).is_empty
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(IntervalError):
+            Interval(10, 9)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(IntervalError):
+            Interval(-1, 5)
+
+    def test_end_beyond_day_rejected(self):
+        with pytest.raises(IntervalError):
+            Interval(20, 25)
+
+    def test_non_integer_endpoints_rejected(self):
+        with pytest.raises(IntervalError):
+            Interval(1.5, 3)  # type: ignore[arg-type]
+
+    def test_intervals_are_hashable_and_comparable(self):
+        assert Interval(1, 3) == Interval(1, 3)
+        assert len({Interval(1, 3), Interval(1, 3), Interval(2, 3)}) == 2
+        assert Interval(1, 3) < Interval(2, 3)
+
+
+class TestSlots:
+    def test_slots_are_half_open(self):
+        assert list(Interval(18, 21).slots()) == [18, 19, 20]
+
+    def test_contains_slot(self):
+        interval = Interval(18, 21)
+        assert interval.contains_slot(18)
+        assert interval.contains_slot(20)
+        assert not interval.contains_slot(21)
+        assert not interval.contains_slot(17)
+
+    def test_contains_interval(self):
+        assert Interval(16, 24).contains(Interval(18, 20))
+        assert Interval(16, 24).contains(Interval(16, 24))
+        assert not Interval(16, 20).contains(Interval(18, 21))
+
+
+class TestOverlap:
+    def test_paper_overlap_example(self):
+        # Section IV-B3: s = (14, 18), omega = (15, 19) -> |overlap| = 3.
+        assert Interval(14, 18).overlap(Interval(15, 19)) == 3
+
+    def test_disjoint_overlap_is_zero(self):
+        assert Interval(2, 5).overlap(Interval(5, 8)) == 0
+        assert Interval(2, 5).overlap(Interval(10, 12)) == 0
+
+    def test_nested_overlap(self):
+        assert Interval(0, 24).overlap(Interval(6, 9)) == 3
+
+    def test_overlap_is_symmetric(self):
+        a, b = Interval(3, 9), Interval(7, 12)
+        assert a.overlap(b) == b.overlap(a) == 2
+
+    def test_intersection_interval(self):
+        assert Interval(3, 9).intersection(Interval(7, 12)) == Interval(7, 9)
+
+    def test_intersection_of_disjoint_is_empty(self):
+        assert Interval(3, 5).intersection(Interval(7, 12)).is_empty
+
+
+class TestShiftAndBlock:
+    def test_shift_right(self):
+        assert Interval(3, 6).shift(2) == Interval(5, 8)
+
+    def test_shift_left(self):
+        assert Interval(3, 6).shift(-3) == Interval(0, 3)
+
+    def test_shift_out_of_day_rejected(self):
+        with pytest.raises(IntervalError):
+            Interval(20, 24).shift(1)
+
+    def test_block_builder(self):
+        assert block(18, 2) == Interval(18, 20)
+
+
+class TestFeasibleStarts:
+    def test_simple_window(self):
+        assert list(feasible_starts(Interval(18, 22), 2)) == [18, 19, 20]
+
+    def test_exact_fit_has_single_start(self):
+        assert list(feasible_starts(Interval(18, 20), 2)) == [18]
+
+    def test_too_small_window_is_empty(self):
+        assert list(feasible_starts(Interval(18, 19), 2)) == []
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(IntervalError):
+            feasible_starts(Interval(18, 22), 0)
+
+    def test_placements_enumerates_blocks(self):
+        assert list(placements(Interval(18, 21), 2)) == [
+            Interval(18, 20),
+            Interval(19, 21),
+        ]

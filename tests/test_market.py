@@ -1,0 +1,194 @@
+"""Unit tests for the wholesale market substrate."""
+
+import random
+
+import pytest
+
+from repro.core.intervals import HOURS_PER_DAY
+from repro.core.mechanism import EnkiMechanism, truthful_reports
+from repro.core.types import HouseholdType, Neighborhood, Preference
+from repro.market.dayahead import DayAheadMarket
+from repro.market.imbalance import TwoPriceImbalance
+from repro.market.procurement import ProcurementPipeline
+from repro.market.supply import (
+    Generator,
+    MeritOrderSupply,
+    QuadraticSupplyCurve,
+)
+
+
+class TestMeritOrder:
+    def _supply(self):
+        return MeritOrderSupply(
+            [
+                Generator("coal", capacity_kwh=10.0, marginal_cost=2.0),
+                Generator("hydro", capacity_kwh=5.0, marginal_cost=1.0),
+                Generator("gas", capacity_kwh=20.0, marginal_cost=5.0),
+            ]
+        )
+
+    def test_dispatch_cheapest_first(self):
+        supply = self._supply()
+        dispatch = supply.dispatch(12.0)
+        assert [(g.name, q) for g, q in dispatch] == [
+            ("hydro", 5.0),
+            ("coal", 7.0),
+        ]
+
+    def test_clearing_price_is_marginal_unit(self):
+        supply = self._supply()
+        assert supply.clearing_price(3.0) == 1.0
+        assert supply.clearing_price(12.0) == 2.0
+        assert supply.clearing_price(20.0) == 5.0
+
+    def test_energy_cost_integrates_stack(self):
+        supply = self._supply()
+        # 5 kWh hydro @1 + 7 kWh coal @2 = 19.
+        assert supply.energy_cost(12.0) == pytest.approx(19.0)
+
+    def test_capacity_enforced(self):
+        supply = self._supply()
+        with pytest.raises(ValueError):
+            supply.dispatch(36.0)
+
+    def test_prices_lower_off_peak(self):
+        # The Section I observation: shallower demand -> cheaper marginal
+        # unit.  Directly true of any merit order.
+        supply = self._supply()
+        assert supply.clearing_price(3.0) < supply.clearing_price(25.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MeritOrderSupply([])
+        with pytest.raises(ValueError):
+            Generator("bad", capacity_kwh=0.0, marginal_cost=1.0)
+        with pytest.raises(ValueError):
+            Generator("bad", capacity_kwh=1.0, marginal_cost=-1.0)
+
+
+class TestQuadraticSupply:
+    def test_reproduces_eq1(self):
+        supply = QuadraticSupplyCurve(sigma=0.3)
+        assert supply.energy_cost(10.0) == pytest.approx(30.0)
+        assert supply.clearing_price(10.0) == pytest.approx(6.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuadraticSupplyCurve(sigma=0.0)
+        with pytest.raises(ValueError):
+            QuadraticSupplyCurve(0.3).energy_cost(-1.0)
+
+
+class TestDayAheadMarket:
+    def test_clears_24_hours(self):
+        market = DayAheadMarket(QuadraticSupplyCurve(0.3))
+        quantities = [float(h % 4) for h in range(HOURS_PER_DAY)]
+        result = market.clear(quantities)
+        assert len(result.clearings) == 24
+        assert result.total_energy_kwh == pytest.approx(sum(quantities))
+        assert result.total_cost == pytest.approx(
+            sum(0.3 * q * q for q in quantities)
+        )
+
+    def test_price_profile_tracks_quantity(self):
+        market = DayAheadMarket(QuadraticSupplyCurve(0.3))
+        quantities = [0.0] * 24
+        quantities[18] = 10.0
+        prices = market.clear(quantities).price_profile()
+        assert prices[18] == pytest.approx(6.0)
+        assert prices[3] == 0.0
+
+    def test_wrong_length_rejected(self):
+        market = DayAheadMarket(QuadraticSupplyCurve(0.3))
+        with pytest.raises(ValueError):
+            market.clear([1.0] * 23)
+
+    def test_negative_bid_rejected(self):
+        market = DayAheadMarket(QuadraticSupplyCurve(0.3))
+        bids = [0.0] * 24
+        bids[0] = -1.0
+        with pytest.raises(ValueError):
+            market.clear(bids)
+
+
+class TestImbalance:
+    def _position(self, quantity=4.0):
+        market = DayAheadMarket(QuadraticSupplyCurve(0.3))
+        return market.clear([quantity] * 24)
+
+    def test_perfect_forecast_pays_nothing(self):
+        position = self._position()
+        settlement = TwoPriceImbalance().settle(position, [4.0] * 24)
+        assert settlement.total_charge == 0.0
+        assert settlement.total_absolute_imbalance_kwh == 0.0
+
+    def test_shortfall_charged_at_premium(self):
+        position = self._position(quantity=4.0)
+        consumed = [4.0] * 24
+        consumed[10] = 6.0
+        settlement = TwoPriceImbalance(shortfall_premium=1.5).settle(
+            position, consumed
+        )
+        price = position.clearings[10].clearing_price
+        assert settlement.total_charge == pytest.approx(2.0 * price * 1.5)
+
+    def test_surplus_loses_discount(self):
+        position = self._position(quantity=4.0)
+        consumed = [4.0] * 24
+        consumed[10] = 1.0
+        settlement = TwoPriceImbalance(surplus_discount=0.5).settle(
+            position, consumed
+        )
+        price = position.clearings[10].clearing_price
+        assert settlement.total_charge == pytest.approx(3.0 * price * 0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TwoPriceImbalance(shortfall_premium=0.9)
+        with pytest.raises(ValueError):
+            TwoPriceImbalance(surplus_discount=1.1)
+        position = self._position()
+        with pytest.raises(ValueError):
+            TwoPriceImbalance().settle(position, [1.0] * 23)
+
+
+class TestProcurementPipeline:
+    def test_truthful_reports_have_no_imbalance(self):
+        households = [
+            HouseholdType(f"hh{i}", Preference.of(16 + i % 3, 22, 2), 5.0)
+            for i in range(6)
+        ]
+        neighborhood = Neighborhood.of(*households)
+        pipeline = ProcurementPipeline(
+            DayAheadMarket(QuadraticSupplyCurve(0.3)),
+            mechanism=EnkiMechanism(seed=0),
+        )
+        day = pipeline.run_day(
+            neighborhood, truthful_reports(neighborhood), rng=random.Random(0)
+        )
+        # Truthful reports -> allocation followed -> position == realized.
+        assert day.imbalance_cost == pytest.approx(0.0)
+        assert day.day_ahead_cost == pytest.approx(
+            day.mechanism_day.settlement.total_cost
+        )
+        assert day.imbalance_share == 0.0
+
+    def test_bad_forecast_pays_imbalance(self):
+        from repro.core.types import Report
+
+        households = [
+            HouseholdType(f"hh{i}", Preference.of(18, 20, 2), 5.0) for i in range(4)
+        ]
+        neighborhood = Neighborhood.of(*households)
+        # Every forecast misses the true window entirely.
+        reports = {
+            hh.household_id: Report(hh.household_id, Preference.of(8, 10, 2))
+            for hh in neighborhood
+        }
+        pipeline = ProcurementPipeline(
+            DayAheadMarket(QuadraticSupplyCurve(0.3)),
+            mechanism=EnkiMechanism(seed=0),
+        )
+        day = pipeline.run_day(neighborhood, reports, rng=random.Random(0))
+        assert day.imbalance_cost > 0.0
+        assert day.imbalance_share > 0.0

@@ -1,0 +1,122 @@
+"""Unit tests for the comparable mechanisms (Enki adapter, VCG, proportional)."""
+
+import random
+
+import pytest
+
+from repro.core.types import HouseholdType, Neighborhood, Preference
+from repro.mechanisms.enki import EnkiComparisonMechanism
+from repro.mechanisms.proportional import ProportionalMechanism
+from repro.mechanisms.vcg import VcgMechanism
+
+
+def _tiny_neighborhood():
+    return Neighborhood.of(
+        HouseholdType("A", Preference.of(16, 20, 2), 6.0),
+        HouseholdType("B", Preference.of(17, 21, 2), 4.0),
+        HouseholdType("C", Preference.of(18, 22, 2), 8.0),
+    )
+
+
+class TestEnkiAdapter:
+    def test_run_day_shapes(self):
+        result = EnkiComparisonMechanism().run_day(
+            _tiny_neighborhood(), rng=random.Random(0)
+        )
+        assert result.mechanism == "enki"
+        assert set(result.payments) == {"A", "B", "C"}
+        assert result.budget_surplus >= 0.0
+
+    def test_social_welfare_definition(self):
+        result = EnkiComparisonMechanism().run_day(
+            _tiny_neighborhood(), rng=random.Random(0)
+        )
+        assert result.social_welfare == pytest.approx(
+            sum(result.valuations.values()) - result.total_cost
+        )
+
+
+class TestProportional:
+    def test_preferred_placement_everyone_at_window_start(self):
+        mechanism = ProportionalMechanism(placement="preferred")
+        result = mechanism.run_day(_tiny_neighborhood(), rng=random.Random(0))
+        assert result.consumption["A"].start == 16
+        assert result.consumption["B"].start == 17
+
+    def test_payments_proportional_to_energy(self):
+        mechanism = ProportionalMechanism()
+        result = mechanism.run_day(_tiny_neighborhood(), rng=random.Random(0))
+        # Equal durations and ratings -> equal payments.
+        values = list(result.payments.values())
+        assert values[0] == pytest.approx(values[1])
+        assert values[1] == pytest.approx(values[2])
+
+    def test_budget_balanced_by_construction(self):
+        result = ProportionalMechanism(xi=1.2).run_day(
+            _tiny_neighborhood(), rng=random.Random(0)
+        )
+        assert result.budget_surplus == pytest.approx(0.2 * result.total_cost)
+
+    def test_random_placement_within_true_window(self):
+        mechanism = ProportionalMechanism(placement="random")
+        result = mechanism.run_day(_tiny_neighborhood(), rng=random.Random(1))
+        for hid, interval in result.consumption.items():
+            true = _tiny_neighborhood()[hid].true_preference
+            assert true.window.contains(interval)
+
+    def test_invalid_placement_rejected(self):
+        with pytest.raises(ValueError):
+            ProportionalMechanism(placement="peak")
+
+    def test_valuations_maximal(self):
+        result = ProportionalMechanism().run_day(
+            _tiny_neighborhood(), rng=random.Random(0)
+        )
+        assert result.valuations["A"] == pytest.approx(6.0)  # rho * v / 2
+
+
+class TestVcg:
+    def test_allocation_is_cost_minimal(self, pricing):
+        from repro.allocation.base import AllocationProblem
+        from repro.allocation.exhaustive import ExhaustiveAllocator
+        from repro.core.mechanism import truthful_reports
+
+        neighborhood = _tiny_neighborhood()
+        vcg = VcgMechanism(solver_time_limit_s=10.0, seed=0)
+        result = vcg.run_day(neighborhood, rng=random.Random(0))
+        problem = AllocationProblem.from_reports(
+            truthful_reports(neighborhood), neighborhood.households, pricing
+        )
+        reference = ExhaustiveAllocator().solve(problem)
+        assert problem.cost(result.allocation) == pytest.approx(reference.cost)
+
+    def test_payments_are_clarke_pivots(self):
+        # Two households with disjoint windows impose no externality on
+        # each other, so each pays exactly the cost share it causes.
+        neighborhood = Neighborhood.of(
+            HouseholdType("A", Preference.of(0, 4, 2), 6.0),
+            HouseholdType("B", Preference.of(12, 16, 2), 4.0),
+        )
+        result = VcgMechanism(seed=0).run_day(neighborhood, rng=random.Random(0))
+        # W(-i) = -cost of the other alone; others' value at chosen outcome
+        # is max, so p_i = chosen_cost - other_cost = own block cost (2.4).
+        assert result.payments["A"] == pytest.approx(2.4)
+        assert result.payments["B"] == pytest.approx(2.4)
+
+    def test_vcg_can_run_deficit_relative_to_enki(self):
+        # The key Section II contrast: VCG's revenue has no floor at kappa.
+        neighborhood = _tiny_neighborhood()
+        vcg = VcgMechanism(seed=0).run_day(neighborhood, rng=random.Random(0))
+        enki = EnkiComparisonMechanism().run_day(
+            neighborhood, rng=random.Random(0)
+        )
+        assert enki.budget_surplus >= 0.0
+        assert vcg.budget_surplus < enki.budget_surplus
+
+    def test_single_household_pays_its_own_cost(self):
+        neighborhood = Neighborhood.of(
+            HouseholdType("A", Preference.of(16, 20, 2), 6.0)
+        )
+        result = VcgMechanism(seed=0).run_day(neighborhood, rng=random.Random(0))
+        # W(-A) = 0; others' value = 0; chosen cost = 2.4 -> p_A = 2.4.
+        assert result.payments["A"] == pytest.approx(2.4)

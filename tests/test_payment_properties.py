@@ -1,0 +1,43 @@
+"""Tests for the Properties 1-3 verifiers."""
+
+import pytest
+
+from repro.core.mechanism import EnkiMechanism
+from repro.theory.payment_properties import (
+    check_all_properties,
+    check_property_1,
+    check_property_2,
+    check_property_3,
+)
+
+
+class TestPaymentProperties:
+    def test_property_1_holds(self):
+        check = check_property_1(EnkiMechanism(), repeats=5, seed=0)
+        assert check.holds, (
+            f"wider window paid {check.favored_payment:.3f} "
+            f"vs narrow {check.disfavored_payment:.3f}"
+        )
+
+    def test_property_2_holds(self):
+        check = check_property_2(EnkiMechanism(), repeats=5, seed=0)
+        assert check.holds, (
+            f"off-peak paid {check.favored_payment:.3f} "
+            f"vs on-peak {check.disfavored_payment:.3f}"
+        )
+
+    def test_property_3_holds(self):
+        check = check_property_3(EnkiMechanism(), seed=0)
+        assert check.holds
+        # Defection is not a marginal effect: Example 4 has B paying ~9x A.
+        assert check.disfavored_payment > 2.0 * check.favored_payment
+
+    def test_check_all(self):
+        checks = check_all_properties(seed=1)
+        assert [c.property_id for c in checks] == [1, 2, 3]
+        assert all(c.holds for c in checks)
+
+    @pytest.mark.parametrize("seed", [2, 3, 4])
+    def test_properties_stable_across_seeds(self, seed):
+        checks = check_all_properties(seed=seed)
+        assert all(c.holds for c in checks)

@@ -1,0 +1,59 @@
+"""Unit tests for payments (Eq. 7) and budget balance (Theorem 1)."""
+
+import pytest
+
+from repro.core.payments import (
+    neighborhood_utility,
+    payments,
+    proportional_payments,
+)
+
+
+class TestPayments:
+    def test_payments_split_scaled_cost(self):
+        pay = payments({"A": 1.0, "B": 3.0}, total_cost=100.0, xi=1.2)
+        assert sum(pay.values()) == pytest.approx(120.0)
+        assert pay["B"] == pytest.approx(3.0 * pay["A"])
+
+    def test_budget_balance_identity(self):
+        # Theorem 1: U_c = (xi - 1) * kappa.
+        pay = payments({"A": 2.0, "B": 1.0}, total_cost=50.0, xi=1.2)
+        assert neighborhood_utility(pay, 50.0) == pytest.approx(0.2 * 50.0)
+
+    def test_xi_one_is_exactly_balanced(self):
+        pay = payments({"A": 1.0}, total_cost=80.0, xi=1.0)
+        assert neighborhood_utility(pay, 80.0) == pytest.approx(0.0)
+
+    def test_xi_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            payments({"A": 1.0}, total_cost=10.0, xi=0.99)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            payments({"A": 1.0}, total_cost=-1.0)
+
+    def test_zero_scores_rejected(self):
+        with pytest.raises(ValueError):
+            payments({"A": 0.0, "B": 0.0}, total_cost=10.0)
+
+    def test_empty_scores_yield_no_payments(self):
+        assert payments({}, total_cost=10.0) == {}
+
+
+class TestProportionalPayments:
+    def test_proportional_to_energy(self):
+        pay = proportional_payments({"A": 4.0, "B": 8.0}, total_cost=60.0, xi=1.0)
+        assert pay["A"] == pytest.approx(20.0)
+        assert pay["B"] == pytest.approx(40.0)
+
+    def test_also_budget_balanced(self):
+        pay = proportional_payments({"A": 4.0, "B": 8.0}, total_cost=60.0, xi=1.5)
+        assert neighborhood_utility(pay, 60.0) == pytest.approx(30.0)
+
+    def test_zero_energy_rejected(self):
+        with pytest.raises(ValueError):
+            proportional_payments({"A": 0.0}, total_cost=10.0)
+
+    def test_xi_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            proportional_payments({"A": 1.0}, total_cost=10.0, xi=0.5)

@@ -1,0 +1,74 @@
+"""Unit tests for the pricing models (Eq. 1 and the piecewise alternative)."""
+
+import pytest
+
+from repro.core.intervals import Interval
+from repro.pricing.load_profile import LoadProfile
+from repro.pricing.piecewise import TwoStepPricing
+from repro.pricing.quadratic import QuadraticPricing, neighborhood_cost
+
+
+class TestQuadraticPricing:
+    def test_hourly_cost(self, pricing):
+        assert pricing.hourly_cost(10.0) == pytest.approx(30.0)
+
+    def test_total_cost_eq1(self, pricing):
+        profile = LoadProfile()
+        profile.add(Interval(18, 20), 2.0)  # two hours at 2 kW
+        assert pricing.cost(profile) == pytest.approx(0.3 * (4 + 4))
+
+    def test_negative_load_rejected(self, pricing):
+        with pytest.raises(ValueError):
+            pricing.hourly_cost(-1.0)
+
+    def test_nonpositive_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            QuadraticPricing(sigma=0.0)
+
+    def test_strict_convexity_rewards_flattening(self, pricing):
+        # Same energy, flatter profile -> strictly lower cost.
+        spiky = LoadProfile()
+        spiky.add(Interval(18, 19), 4.0)
+        flat = LoadProfile()
+        flat.add(Interval(18, 20), 2.0)
+        assert pricing.cost(flat) < pricing.cost(spiky)
+
+    def test_marginal_block_cost_matches_recompute(self, pricing):
+        profile = LoadProfile()
+        profile.add(Interval(18, 21), 2.0)
+        before = pricing.cost(profile)
+        delta = pricing.marginal_block_cost(profile, Interval(19, 22), 2.0)
+        profile.add(Interval(19, 22), 2.0)
+        assert before + delta == pytest.approx(pricing.cost(profile))
+
+    def test_schedule_cost_helper(self, pricing):
+        cost = neighborhood_cost({"A": Interval(18, 20)}, sigma=0.3)
+        assert cost == pytest.approx(0.3 * (4 + 4))
+
+
+class TestTwoStepPricing:
+    def test_below_threshold_uses_low_rate(self):
+        pricing = TwoStepPricing(threshold_kw=10.0, low_rate=1.0, high_rate=5.0)
+        assert pricing.hourly_cost(8.0) == pytest.approx(8.0)
+
+    def test_above_threshold_blends(self):
+        pricing = TwoStepPricing(threshold_kw=10.0, low_rate=1.0, high_rate=5.0)
+        assert pricing.hourly_cost(12.0) == pytest.approx(10.0 + 2.0 * 5.0)
+
+    def test_convexity_requires_high_at_least_low(self):
+        with pytest.raises(ValueError):
+            TwoStepPricing(threshold_kw=10.0, low_rate=5.0, high_rate=1.0)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            TwoStepPricing(threshold_kw=-1.0, low_rate=1.0, high_rate=2.0)
+
+    def test_negative_load_rejected(self):
+        pricing = TwoStepPricing(threshold_kw=10.0, low_rate=1.0, high_rate=5.0)
+        with pytest.raises(ValueError):
+            pricing.hourly_cost(-0.1)
+
+    def test_marginal_cost_generic(self):
+        pricing = TwoStepPricing(threshold_kw=10.0, low_rate=1.0, high_rate=5.0)
+        # Crossing the threshold: 9 -> 11 costs 1*1 + 1*5.
+        assert pricing.marginal_cost(9.0, 2.0) == pytest.approx(6.0)

@@ -1,0 +1,125 @@
+"""Unit tests for the relaxation bounds used by the exact solver."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.allocation.relaxation import (
+    quadratic_waterfill_bound,
+    transportation_bound,
+    transportation_solution,
+    uncapacitated_flat_bound,
+    waterfill_levels,
+)
+
+
+class TestWaterfillLevels:
+    def test_zero_energy_adds_nothing(self):
+        loads = np.array([1.0] * 24)
+        additions = waterfill_levels(loads, 0.0, np.full(24, 5.0))
+        assert additions.sum() == 0.0
+
+    def test_fills_valleys_first(self):
+        loads = np.zeros(24)
+        loads[0] = 10.0
+        additions = waterfill_levels(loads, 5.0, np.full(24, 10.0))
+        assert additions[0] == 0.0
+        assert additions.sum() == pytest.approx(5.0, rel=1e-6)
+
+    def test_capacity_respected(self):
+        loads = np.zeros(24)
+        caps = np.zeros(24)
+        caps[:2] = 1.0
+        additions = waterfill_levels(loads, 2.0, caps)
+        assert additions.max() <= 1.0 + 1e-9
+
+    def test_never_places_more_than_energy(self):
+        loads = np.linspace(0, 5, 24)
+        additions = waterfill_levels(loads, 7.0, np.full(24, 2.0))
+        assert additions.sum() <= 7.0 + 1e-9
+
+
+class TestQuadraticWaterfillBound:
+    def test_bound_below_any_feasible_completion(self):
+        # One remaining block of 2 hours at 2 kW anywhere in hours 0..3.
+        loads = np.zeros(24)
+        loads[0] = 2.0
+        caps = np.zeros(24)
+        caps[0:4] = 2.0
+        bound = quadratic_waterfill_bound(loads, 4.0, caps, sigma=0.3)
+        # Feasible completions: block at (0,2), (1,3) or (2,4).
+        best = min(
+            0.3 * sum(l * l for l in profile)
+            for profile in (
+                [4.0, 2.0, 0.0, 0.0],
+                [2.0, 2.0, 2.0, 0.0],
+                [2.0, 0.0, 2.0, 2.0],
+            )
+        )
+        assert bound <= best + 1e-9
+
+    def test_flat_bound_weaker_or_equal(self):
+        loads = np.zeros(24)
+        caps = np.zeros(24)
+        caps[0:4] = 2.0
+        capped = quadratic_waterfill_bound(loads, 4.0, caps, sigma=0.3)
+        flat = uncapacitated_flat_bound(loads, 4.0, sigma=0.3)
+        assert flat <= capped + 1e-9
+
+
+class TestTransportationBound:
+    def _brute_force_optimum(self, windows, durations, sigma=0.3, rating=2.0):
+        """Exact optimum over contiguous placements (tiny instances)."""
+        placements = []
+        for hours, duration in zip(windows, durations):
+            starts = [
+                h for h in hours if all(h + k in hours for k in range(duration))
+            ]
+            placements.append([range(s, s + duration) for s in starts])
+        best = float("inf")
+        for combo in itertools.product(*placements):
+            loads = [0.0] * 24
+            for block in combo:
+                for h in block:
+                    loads[h] += rating
+            best = min(best, sigma * sum(l * l for l in loads))
+        return best
+
+    def test_is_lower_bound_on_contiguous_optimum(self):
+        windows = [list(range(18, 22)), list(range(18, 21)), list(range(19, 22))]
+        durations = [2, 2, 1]
+        bound = transportation_bound([0.0] * 24, windows, durations, 2.0, 0.3)
+        optimum = self._brute_force_optimum(windows, durations)
+        assert bound <= optimum + 1e-9
+
+    def test_tight_when_contiguity_free(self):
+        # Disjoint singleton demands: relaxation equals the true optimum.
+        windows = [list(range(0, 4)), list(range(10, 14))]
+        durations = [1, 1]
+        bound = transportation_bound([0.0] * 24, windows, durations, 2.0, 0.3)
+        assert bound == pytest.approx(0.3 * (4.0 + 4.0))
+
+    def test_accounts_for_existing_loads(self):
+        loads = [0.0] * 24
+        loads[18] = 2.0
+        windows = [list(range(18, 20))]
+        bound = transportation_bound(loads, windows, [1], 2.0, 0.3)
+        # Best single brick goes to hour 19: 0.3 * (4 + 4).
+        assert bound == pytest.approx(0.3 * 8.0)
+
+    def test_zero_units_returns_base_cost(self):
+        loads = [1.0] * 24
+        bound = transportation_bound(loads, [], [], 2.0, 0.3)
+        assert bound == pytest.approx(0.3 * 24.0)
+
+    def test_solution_assignments_respect_windows(self):
+        windows = [list(range(18, 22)), list(range(18, 21))]
+        durations = [2, 2]
+        bound, assignments = transportation_solution(
+            [0.0] * 24, windows, durations, 2.0, 0.3
+        )
+        for hours, assigned, duration in zip(windows, assignments, durations):
+            assert len(assigned) == duration
+            assert all(h in hours for h in assigned)
+        assert bound > 0.0

@@ -1,0 +1,84 @@
+"""Tests for the ASCII reporting helpers."""
+
+import pytest
+
+from repro.core.intervals import Interval
+from repro.pricing.load_profile import LoadProfile
+from repro.reporting.ascii import (
+    bar_chart,
+    load_profile_chart,
+    series_table,
+    sparkline,
+)
+
+
+class TestBarChart:
+    def test_bars_scale_to_maximum(self):
+        chart = bar_chart(["a", "b"], [5.0, 10.0], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_labels_aligned(self):
+        chart = bar_chart(["x", "long"], [1.0, 1.0], width=4)
+        lines = chart.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_unit_suffix(self):
+        chart = bar_chart(["a"], [3.0], unit=" kW")
+        assert chart.endswith("3 kW")
+
+    def test_all_zero_values(self):
+        chart = bar_chart(["a"], [0.0])
+        assert "#" not in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [-1.0])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0], width=0)
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_flat_zero(self):
+        assert sparkline([0.0, 0.0]) == "  "
+
+    def test_monotone_levels(self):
+        line = sparkline([0.0, 0.5, 1.0])
+        assert line[0] <= line[1] <= line[2]
+        assert line[2] == "█"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([-1.0])
+
+
+class TestProfileChart:
+    def test_covers_requested_hours(self):
+        profile = LoadProfile()
+        profile.add(Interval(18, 20), 4.0)
+        chart = load_profile_chart(profile, hour_range=range(17, 21))
+        lines = chart.splitlines()
+        assert len(lines) == 4
+        assert lines[1].startswith("18:00")
+        assert "4 kW" in lines[1]
+
+
+class TestSeriesTable:
+    def test_renders_rows(self):
+        table = series_table(
+            "peaks", [[1.0, 2.0], [2.0, 1.0]], ["rtp", "enki"]
+        )
+        lines = table.splitlines()
+        assert lines[0] == "peaks"
+        assert len(lines) == 3
+        assert "peak 2" in lines[1]
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            series_table("x", [[1.0]], ["a", "b"])

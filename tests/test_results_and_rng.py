@@ -1,0 +1,60 @@
+"""Tests for the table renderer and the rng helpers."""
+
+import random
+
+import pytest
+
+from repro.sim.results import fmt, format_table
+from repro.sim.rng import make_rngs, spawn_seed
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        rendered = format_table(["a", "long header"], [(1, "x"), (22, "yy")])
+        lines = rendered.splitlines()
+        assert lines[0].startswith("a")
+        assert set(lines[1].replace(" ", "")) == {"-"}
+        assert len(lines) == 4
+
+    def test_cells_wider_than_headers(self):
+        rendered = format_table(["h"], [("wide-cell-content",)])
+        lines = rendered.splitlines()
+        assert "wide-cell-content" in lines[2]
+        assert len(lines[1]) >= len("wide-cell-content")
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [(1,)])
+
+    def test_no_trailing_whitespace(self):
+        rendered = format_table(["a", "b"], [(1, 2)])
+        for line in rendered.splitlines():
+            assert line == line.rstrip()
+
+    def test_empty_rows_renders_header_only(self):
+        rendered = format_table(["a"], [])
+        assert len(rendered.splitlines()) == 2
+
+    def test_fmt_helper(self):
+        assert fmt(1.23456) == "1.235"
+        assert fmt(1.2, digits=1) == "1.2"
+
+
+class TestRngHelpers:
+    def test_make_rngs_deterministic(self):
+        py1, np1 = make_rngs(42)
+        py2, np2 = make_rngs(42)
+        assert py1.random() == py2.random()
+        assert np1.integers(0, 1000) == np2.integers(0, 1000)
+
+    def test_different_seeds_differ(self):
+        py1, _ = make_rngs(1)
+        py2, _ = make_rngs(2)
+        assert py1.random() != py2.random()
+
+    def test_spawn_seed_stable(self):
+        rng = random.Random(7)
+        seeds = [spawn_seed(rng) for _ in range(3)]
+        rng2 = random.Random(7)
+        assert seeds == [spawn_seed(rng2) for _ in range(3)]
+        assert len(set(seeds)) == 3

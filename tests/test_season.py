@@ -1,0 +1,64 @@
+"""Tests for the season-scale operational simulator."""
+
+import pytest
+
+from repro.core.mechanism import EnkiMechanism
+from repro.sim.season import DAYS_PER_WEEK, SeasonSimulator
+
+
+class TestSeasonSimulator:
+    @pytest.fixture(scope="class")
+    def season(self):
+        simulator = SeasonSimulator(EnkiMechanism(seed=0), churn_rate=0.2)
+        return simulator.run(n_households=8, weeks=3, seed=5)
+
+    def test_weekly_kpis_cover_every_week(self, season):
+        assert [week.week for week in season.weeks] == [0, 1, 2]
+        assert len(season.outcomes) == 3 * DAYS_PER_WEEK
+
+    def test_population_size_stable_under_churn(self, season):
+        # Departures are replaced one-for-one.
+        assert all(week.n_households_start == 8 for week in season.weeks)
+        assert all(week.joins == week.departures for week in season.weeks)
+
+    def test_budget_balance_every_single_day(self, season):
+        assert season.always_budget_balanced
+
+    def test_kpis_in_sane_ranges(self, season):
+        for week in season.weeks:
+            assert week.mean_cost > 0
+            assert 1.0 <= week.mean_par <= 24.0
+            assert week.mean_surplus >= 0
+            assert 0.0 <= week.defection_rate <= 1.0
+
+    def test_render(self, season):
+        rendered = season.render()
+        assert "churn" in rendered
+        assert rendered.count("\n") == 4  # header + rule + 3 weeks
+
+    def test_churn_actually_rotates_households(self):
+        simulator = SeasonSimulator(EnkiMechanism(seed=0), churn_rate=1.0)
+        season = simulator.run(n_households=4, weeks=2, seed=1)
+        # With 100% churn every household departs after week 0.
+        assert season.weeks[0].departures == 4
+
+    def test_zero_churn_keeps_everyone(self):
+        simulator = SeasonSimulator(EnkiMechanism(seed=0), churn_rate=0.0)
+        season = simulator.run(n_households=4, weeks=2, seed=1)
+        assert all(week.departures == 0 for week in season.weeks)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SeasonSimulator(churn_rate=1.5)
+        simulator = SeasonSimulator()
+        with pytest.raises(ValueError):
+            simulator.run(n_households=0, weeks=1)
+        with pytest.raises(ValueError):
+            simulator.run(n_households=2, weeks=0)
+
+    def test_outcomes_can_be_dropped_for_memory(self):
+        simulator = SeasonSimulator(EnkiMechanism(seed=0))
+        season = simulator.run(
+            n_households=4, weeks=1, seed=2, keep_outcomes=False
+        )
+        assert season.outcomes == []

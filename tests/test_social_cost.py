@@ -1,0 +1,81 @@
+"""Unit tests for social-cost scores (Eq. 6) and their normalization."""
+
+import pytest
+
+from repro.core.social_cost import normalized_shares, social_cost_scores
+
+
+class TestNormalizedShares:
+    def test_shares_shift_into_half_to_three_halves(self):
+        shares = normalized_shares({"A": 1.0, "B": 3.0})
+        assert shares["A"] == pytest.approx(0.75)
+        assert shares["B"] == pytest.approx(1.25)
+        assert all(0.5 <= value <= 1.5 for value in shares.values())
+
+    def test_all_zero_scores_fall_back_to_neutral(self):
+        shares = normalized_shares({"A": 0.0, "B": 0.0})
+        assert shares == {"A": 0.5, "B": 0.5}
+
+    def test_single_household_gets_full_share(self):
+        assert normalized_shares({"A": 2.0}) == {"A": 1.5}
+
+
+class TestSocialCostScores:
+    def test_equal_households_equal_scores(self):
+        scores = social_cost_scores(
+            flexibility={"A": 1.0, "B": 1.0},
+            defection={"A": 0.0, "B": 0.0},
+        )
+        assert scores["A"] == pytest.approx(scores["B"])
+
+    def test_flexible_household_scores_lower(self):
+        scores = social_cost_scores(
+            flexibility={"A": 2.0, "B": 1.0},
+            defection={"A": 0.0, "B": 0.0},
+        )
+        assert scores["A"] < scores["B"]
+
+    def test_defector_scores_higher(self):
+        scores = social_cost_scores(
+            flexibility={"A": 1.0, "B": 0.0},
+            defection={"A": 0.0, "B": 2.0},
+        )
+        assert scores["B"] > scores["A"]
+
+    def test_k_scales_linearly(self):
+        base = social_cost_scores({"A": 1.0, "B": 2.0}, {"A": 0.0, "B": 1.0}, k=1.0)
+        doubled = social_cost_scores({"A": 1.0, "B": 2.0}, {"A": 0.0, "B": 1.0}, k=2.0)
+        for hid in base:
+            assert doubled[hid] == pytest.approx(2.0 * base[hid])
+
+    def test_scores_always_positive(self):
+        scores = social_cost_scores(
+            flexibility={"A": 0.0, "B": 5.0, "C": 1.0},
+            defection={"A": 9.0, "B": 0.0, "C": 0.0},
+        )
+        assert all(value > 0 for value in scores.values())
+
+    def test_bounded_ratio(self):
+        # Both normalized terms live in [0.5, 1.5], so Psi/k is in [1/3, 3].
+        scores = social_cost_scores(
+            flexibility={"A": 0.0, "B": 100.0},
+            defection={"A": 100.0, "B": 0.0},
+        )
+        for value in scores.values():
+            assert 1.0 / 3.0 - 1e-12 <= value <= 3.0 + 1e-12
+
+
+class TestValidation:
+    def test_mismatched_households_rejected(self):
+        with pytest.raises(ValueError):
+            social_cost_scores({"A": 1.0}, {"B": 0.0})
+
+    def test_negative_scores_rejected(self):
+        with pytest.raises(ValueError):
+            social_cost_scores({"A": -1.0}, {"A": 0.0})
+        with pytest.raises(ValueError):
+            social_cost_scores({"A": 1.0}, {"A": -0.5})
+
+    def test_nonpositive_k_rejected(self):
+        with pytest.raises(ValueError):
+            social_cost_scores({"A": 1.0}, {"A": 0.0}, k=0.0)

@@ -1,0 +1,96 @@
+"""Tests for the Wilcoxon signed-rank test and bootstrap CIs."""
+
+import random
+
+import pytest
+import scipy.stats as sps
+
+from repro.stats.bootstrap import bootstrap_ci
+from repro.stats.wilcoxon import wilcoxon_signed_rank
+
+
+class TestWilcoxonAgainstScipy:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("alternative", ["two-sided", "less", "greater"])
+    def test_exact_matches_scipy(self, seed, alternative):
+        rng = random.Random(seed)
+        sample1 = [rng.random() for _ in range(10)]
+        sample2 = [rng.random() for _ in range(10)]
+        ours = wilcoxon_signed_rank(sample1, sample2, alternative=alternative)
+        theirs = sps.wilcoxon(
+            sample1, sample2, alternative=alternative, mode="exact"
+        )
+        assert ours.method == "exact"
+        # scipy reports min(W+, W-) for two-sided; compare p-values only.
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-9)
+
+    @pytest.mark.parametrize("seed", [5, 6])
+    def test_normal_close_to_scipy(self, seed):
+        rng = random.Random(seed)
+        sample1 = [rng.gauss(0, 1) for _ in range(40)]
+        sample2 = [rng.gauss(0.3, 1) for _ in range(40)]
+        ours = wilcoxon_signed_rank(sample1, sample2)
+        theirs = sps.wilcoxon(
+            sample1, sample2, alternative="two-sided", mode="approx",
+            correction=True,
+        )
+        assert ours.method == "normal"
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=0.05)
+
+    def test_identical_pairs_degenerate(self):
+        result = wilcoxon_signed_rank([1.0, 2.0], [1.0, 2.0])
+        assert result.p_value == 1.0
+        assert result.n_pairs_used == 0
+
+    def test_clear_difference_significant(self):
+        sample1 = [float(i) for i in range(12)]
+        sample2 = [value + 5.0 for value in sample1]
+        result = wilcoxon_signed_rank(sample1, sample2, alternative="less")
+        assert result.p_value < 0.01
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            wilcoxon_signed_rank([1.0], [1.0, 2.0])
+
+    def test_unknown_alternative_rejected(self):
+        with pytest.raises(ValueError):
+            wilcoxon_signed_rank([1.0], [2.0], alternative="diagonal")
+
+    def test_paired_fig8_style_analysis(self):
+        # The Figure 8 data are paired; the signed-rank companion should
+        # also find the Initial < Cooperate effect on synthetic data with
+        # a clear shift.
+        rng = random.Random(9)
+        initial = [rng.uniform(0.0, 0.5) for _ in range(16)]
+        cooperate = [min(1.0, value + rng.uniform(0.1, 0.4)) for value in initial]
+        result = wilcoxon_signed_rank(initial, cooperate, alternative="less")
+        assert result.p_value < 0.01
+
+
+class TestBootstrap:
+    def test_interval_contains_mean_of_stable_sample(self):
+        values = [10.0 + (i % 3) for i in range(30)]
+        ci = bootstrap_ci(values, seed=0)
+        assert ci.low <= ci.estimate <= ci.high
+        assert ci.contains(11.0)
+
+    def test_custom_statistic(self):
+        values = [1.0, 2.0, 3.0, 100.0]
+        ci = bootstrap_ci(values, statistic=lambda s: sorted(s)[len(s) // 2], seed=1)
+        assert ci.low <= ci.estimate <= ci.high
+
+    def test_narrows_with_larger_samples(self):
+        rng = random.Random(2)
+        small = [rng.gauss(0, 1) for _ in range(10)]
+        large = [rng.gauss(0, 1) for _ in range(1000)]
+        ci_small = bootstrap_ci(small, seed=3)
+        ci_large = bootstrap_ci(large, seed=3)
+        assert (ci_large.high - ci_large.low) < (ci_small.high - ci_small.low)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], resamples=0)
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], confidence=1.0)

@@ -1,0 +1,133 @@
+"""Unit tests for the domain types (Table I)."""
+
+import pytest
+
+from repro.core.intervals import Interval, IntervalError
+from repro.core.types import (
+    HouseholdType,
+    Neighborhood,
+    Preference,
+    Report,
+    validate_allocation,
+    validate_consumption,
+)
+
+
+class TestPreference:
+    def test_of_builder_matches_paper_triple(self):
+        pref = Preference.of(18, 22, 2)
+        assert pref.begin == 18
+        assert pref.end == 22
+        assert pref.duration == 2
+        assert pref.slack == 2
+
+    def test_window_shorter_than_duration_rejected(self):
+        with pytest.raises(IntervalError):
+            Preference.of(18, 19, 2)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(IntervalError):
+            Preference.of(18, 20, 0)
+
+    def test_admits_only_exact_duration_inside_window(self):
+        pref = Preference.of(18, 22, 2)
+        assert pref.admits(Interval(18, 20))
+        assert pref.admits(Interval(20, 22))
+        assert not pref.admits(Interval(17, 19))  # outside window
+        assert not pref.admits(Interval(18, 21))  # wrong duration
+
+    def test_placements_enumeration(self):
+        pref = Preference.of(18, 21, 2)
+        assert list(pref.placements()) == [Interval(18, 20), Interval(19, 21)]
+
+
+class TestHouseholdType:
+    def test_valid_household(self):
+        hh = HouseholdType("A", Preference.of(18, 22, 2), 5.0)
+        assert hh.duration == 2
+        assert hh.rating_kw == 2.0
+
+    def test_nonpositive_valuation_rejected(self):
+        with pytest.raises(ValueError):
+            HouseholdType("A", Preference.of(18, 22, 2), 0.0)
+
+    def test_nonpositive_rating_rejected(self):
+        with pytest.raises(ValueError):
+            HouseholdType("A", Preference.of(18, 22, 2), 5.0, rating_kw=-1.0)
+
+    def test_with_preference_copies(self):
+        hh = HouseholdType("A", Preference.of(18, 22, 2), 5.0)
+        other = hh.with_preference(Preference.of(10, 14, 2))
+        assert other.true_preference.begin == 10
+        assert hh.true_preference.begin == 18
+
+
+class TestNeighborhood:
+    def test_of_builder_and_access(self):
+        nb = Neighborhood.of(
+            HouseholdType("A", Preference.of(18, 22, 2), 5.0),
+            HouseholdType("B", Preference.of(10, 14, 2), 3.0),
+        )
+        assert len(nb) == 2
+        assert "A" in nb
+        assert nb["B"].valuation_factor == 3.0
+        assert nb.ids() == ["A", "B"]
+
+    def test_mismatched_key_rejected(self):
+        hh = HouseholdType("A", Preference.of(18, 22, 2), 5.0)
+        with pytest.raises(ValueError):
+            Neighborhood({"B": hh})
+
+
+class TestValidation:
+    def _world(self):
+        nb = Neighborhood.of(
+            HouseholdType("A", Preference.of(18, 22, 2), 5.0),
+        )
+        reports = {"A": Report("A", Preference.of(18, 22, 2))}
+        return nb, reports
+
+    def test_valid_allocation_passes(self):
+        nb, reports = self._world()
+        validate_allocation(reports, {"A": Interval(19, 21)})
+
+    def test_missing_household_rejected(self):
+        nb, reports = self._world()
+        with pytest.raises(IntervalError):
+            validate_allocation(reports, {})
+
+    def test_unknown_household_rejected(self):
+        nb, reports = self._world()
+        with pytest.raises(IntervalError):
+            validate_allocation(
+                reports, {"A": Interval(19, 21), "Z": Interval(0, 2)}
+            )
+
+    def test_allocation_outside_window_rejected(self):
+        nb, reports = self._world()
+        with pytest.raises(IntervalError):
+            validate_allocation(reports, {"A": Interval(21, 23)})
+
+    def test_allocation_wrong_duration_rejected(self):
+        nb, reports = self._world()
+        with pytest.raises(IntervalError):
+            validate_allocation(reports, {"A": Interval(18, 21)})
+
+    def test_consumption_must_stay_in_true_window(self):
+        nb, _ = self._world()
+        with pytest.raises(IntervalError):
+            validate_consumption(nb.households, {"A": Interval(16, 18)})
+
+    def test_consumption_duration_enforced(self):
+        nb, _ = self._world()
+        with pytest.raises(IntervalError):
+            validate_consumption(nb.households, {"A": Interval(18, 21)})
+
+    def test_valid_consumption_passes(self):
+        nb, _ = self._world()
+        validate_consumption(nb.households, {"A": Interval(20, 22)})
+
+    def test_report_truthfulness(self):
+        pref = Preference.of(18, 22, 2)
+        assert Report("A", pref).is_truthful(pref)
+        assert not Report("A", Preference.of(18, 23, 2)).is_truthful(pref)

@@ -1,0 +1,235 @@
+"""Unit and integration tests for the Section VII user-study game."""
+
+import random
+
+import pytest
+
+from repro.core.types import Preference
+from repro.userstudy.analysis import (
+    STAGE_ORDER,
+    STAGES,
+    average_defection_rates,
+    average_flexibility_series,
+    defection_mann_whitney,
+    defection_rate,
+    flexibility_series,
+    stage_rounds,
+    treatment_defection_rates,
+    true_interval_analysis,
+    true_interval_selecting_ratio,
+)
+from repro.userstudy.game import (
+    ROUNDS_PER_SESSION,
+    ArtificialAgentScript,
+    GameSession,
+    _scores_from_utilities,
+)
+from repro.userstudy.subjects import (
+    GoodSubject,
+    LearningSubject,
+    RandomSubject,
+    TruthfulSubject,
+    default_subject_pool,
+)
+from repro.userstudy.treatments import run_study
+
+
+class TestSubjectModels:
+    def test_truthful_always_exact(self, rng):
+        subject = TruthfulSubject()
+        pref = Preference.of(18, 20, 2)
+        assert subject.submit(0, pref, [], rng) == pref
+
+    def test_random_subject_keeps_duration(self, rng):
+        subject = RandomSubject()
+        pref = Preference.of(18, 20, 2)
+        for round_index in range(20):
+            submitted = subject.submit(round_index, pref, [], rng)
+            assert submitted.duration == 2
+
+    def test_good_subject_truthful_after_switch(self, rng):
+        subject = GoodSubject(switch_round=8)
+        pref = Preference.of(18, 20, 2)
+        for round_index in range(8, 16):
+            assert subject.submit(round_index, pref, [], rng) == pref
+
+    def test_good_subject_explores_early(self):
+        subject = GoodSubject(switch_round=8, explore_probability=1.0)
+        pref = Preference.of(18, 20, 2)
+        rng = random.Random(0)
+        submissions = {subject.submit(r, pref, [], rng) for r in range(8)}
+        assert any(s != pref for s in submissions)
+
+    def test_learning_subject_probability_decays(self, rng):
+        subject = LearningSubject(explore_start=0.8, explore_decay=0.5)
+        history = []
+        early = subject._explore_probability(history)
+        from repro.userstudy.subjects import RoundExperience
+
+        pref = Preference.of(18, 20, 2)
+        history = [
+            RoundExperience(i, pref, pref, False, 80.0) for i in range(6)
+        ]
+        late = subject._explore_probability(history)
+        assert late < early
+
+    def test_default_pool_composition(self):
+        pool = default_subject_pool(random.Random(0))
+        assert len(pool) == 20
+        understandings = [s.understanding for s in pool]
+        assert understandings.count("none") == 4
+        assert understandings.count("intermediate") == 14
+        assert understandings.count("good") == 2
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            LearningSubject(explore_start=1.5)
+        with pytest.raises(ValueError):
+            GoodSubject(switch_round=-1)
+        with pytest.raises(ValueError):
+            GoodSubject(explore_probability=2.0)
+
+
+class TestScores:
+    def test_scores_map_to_0_100(self):
+        scores = _scores_from_utilities({"a": -3.0, "b": 1.0, "c": 5.0})
+        assert scores["a"] == 0.0
+        assert scores["c"] == 100.0
+        assert scores["b"] == pytest.approx(50.0)
+
+    def test_degenerate_utilities_score_50(self):
+        scores = _scores_from_utilities({"a": 2.0, "b": 2.0})
+        assert scores == {"a": 50.0, "b": 50.0}
+
+
+class TestArtificialAgents:
+    def test_cooperator_submits_truth(self, rng):
+        agent = ArtificialAgentScript("agent0", defect_rounds=range(0))
+        pref = Preference.of(18, 20, 2)
+        assert agent.submits(3, pref, rng) == pref
+
+    def test_defector_shifts_during_defect_rounds(self):
+        agent = ArtificialAgentScript("agent0", defect_rounds=range(0, 8), shift=3)
+        pref = Preference.of(18, 20, 2)
+        rng = random.Random(0)
+        submitted = agent.submits(2, pref, rng)
+        assert submitted != pref
+        # And cooperates afterwards.
+        assert agent.submits(9, pref, rng) == pref
+
+
+class TestGameSession:
+    def test_full_session_shape(self):
+        session = GameSession(
+            [TruthfulSubject(), RandomSubject()], n_agents=4
+        )
+        result = session.play(treatment=1, session_index=0, seed=11)
+        assert len(result.logs) == 2 * ROUNDS_PER_SESSION
+        for log in result.subject_logs(0):
+            # Truthful subjects never defect: allocation fits their truth.
+            assert not log.defected
+            assert log.chose_exact_true_interval
+            assert log.flexibility_ratio == pytest.approx(1.0)
+
+    def test_subject_preference_changes_every_four_rounds(self):
+        session = GameSession([TruthfulSubject()], n_agents=2)
+        result = session.play(treatment=2, session_index=0, seed=3)
+        logs = result.subject_logs(0)
+        by_round = {log.round_index: log.true_preference for log in logs}
+        for block_start in (0, 4, 8, 12):
+            block = {by_round[r] for r in range(block_start, block_start + 4)}
+            assert len(block) == 1
+
+    def test_scores_within_range(self):
+        session = GameSession([RandomSubject()], n_agents=4)
+        result = session.play(treatment=2, session_index=0, seed=5)
+        for log in result.logs:
+            assert 0.0 <= log.score <= 100.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GameSession([], n_agents=4)
+        with pytest.raises(ValueError):
+            GameSession([TruthfulSubject()], n_agents=-1)
+
+
+class TestStudyAndAnalysis:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_study(seed=42)
+
+    def test_study_structure(self, study):
+        assert len(study.subjects) == 20
+        assert len(study.by_treatment(1)) == 16
+        assert len(study.by_treatment(2)) == 4
+        for record in study.subjects:
+            assert len(record.logs) == ROUNDS_PER_SESSION
+
+    def test_stage_definitions_match_paper(self):
+        assert STAGES["Overall"] == (0, 16)
+        assert STAGES["Initial"] == (0, 4)
+        assert STAGES["Defect"] == (0, 8)
+        assert STAGES["Cooperate"] == (8, 16)
+        assert stage_rounds("Cooperate") == 8
+
+    def test_defection_rates_bounded(self, study):
+        rates = average_defection_rates(study)
+        assert set(rates) == set(STAGE_ORDER)
+        assert all(0.0 <= value <= 1.0 for value in rates.values())
+
+    def test_table2_shape_initial_above_cooperate(self, study):
+        rates = average_defection_rates(study)
+        assert rates["Initial"] > rates["Cooperate"]
+        assert rates["Overall"] < 0.5
+
+    def test_table3_overall_significant(self, study):
+        tests = defection_mann_whitney(study)
+        assert tests["Overall"].p_value < 0.05
+        assert tests["Cooperate"].p_value < 0.05
+
+    def test_table4_covers_both_treatments(self, study):
+        rates = treatment_defection_rates(study)
+        assert set(rates) == {1, 2}
+        for treatment_rates in rates.values():
+            assert set(treatment_rates) == set(STAGE_ORDER)
+
+    def test_fig8_analysis_excludes_non_understanding(self, study):
+        analysis = true_interval_analysis(study)
+        assert len(analysis.subjects) == 16
+        assert analysis.mean_cooperate >= analysis.mean_initial
+
+    def test_fig9_series_properties(self, study):
+        good = study.understanding_group("good")
+        for record in good:
+            series = flexibility_series(record)
+            assert len(series) == ROUNDS_PER_SESSION
+            assert all(0.0 <= value <= 1.0 for value in series)
+            # P7/P8 pattern: truthful lock-in by the final rounds.
+            assert all(value == pytest.approx(1.0) for value in series[-4:])
+
+    def test_average_flexibility_series(self, study):
+        intermediate = study.understanding_group("intermediate")[:4]
+        series = average_flexibility_series(intermediate)
+        assert len(series) == ROUNDS_PER_SESSION
+        # The paper's reading: average flexibility ratio increases.
+        first_half = sum(series[:8]) / 8
+        second_half = sum(series[8:]) / 8
+        assert second_half >= first_half - 0.1
+
+    def test_subject_specific_rates(self, study):
+        record = study.subjects[0]
+        rate = defection_rate(record, "Overall")
+        assert 0.0 <= rate <= 1.0
+        ratio = true_interval_selecting_ratio(record, "Overall")
+        assert 0.0 <= ratio <= 1.0
+
+    def test_wrong_pool_size_rejected(self):
+        with pytest.raises(ValueError):
+            run_study(subject_pool=[TruthfulSubject()], seed=0)
+
+    def test_reproducible(self):
+        a = run_study(seed=9)
+        b = run_study(seed=9)
+        rates_a = average_defection_rates(a)
+        rates_b = average_defection_rates(b)
+        assert rates_a == pytest.approx(rates_b)

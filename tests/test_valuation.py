@@ -1,0 +1,75 @@
+"""Unit tests for the valuation function (Eq. 3 and its four criteria)."""
+
+import pytest
+
+from repro.core.intervals import Interval
+from repro.core.types import HouseholdType, Preference
+from repro.core.valuation import (
+    household_valuation,
+    max_valuation,
+    satisfied_hours,
+    valuation,
+)
+
+
+class TestValuationShape:
+    def test_zero_overlap_zero_value(self):
+        assert valuation(0.0, 4, 5.0) == 0.0
+
+    def test_maximum_at_full_overlap(self):
+        # V(v, v, rho) = rho * v / 2.
+        assert valuation(4.0, 4, 5.0) == pytest.approx(10.0)
+        assert max_valuation(4, 5.0) == pytest.approx(10.0)
+
+    def test_value_clamps_beyond_duration(self):
+        assert valuation(6.0, 4, 5.0) == pytest.approx(valuation(4.0, 4, 5.0))
+
+    def test_increasing_in_tau(self):
+        values = [valuation(t, 4, 5.0) for t in range(5)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_increasing_in_duration(self):
+        assert max_valuation(3, 5.0) < max_valuation(4, 5.0)
+
+    def test_increasing_in_rho(self):
+        assert valuation(2.0, 4, 3.0) < valuation(2.0, 4, 6.0)
+
+    def test_marginal_benefit_nonincreasing(self):
+        marginals = [
+            valuation(t + 1, 4, 5.0) - valuation(t, 4, 5.0) for t in range(4)
+        ]
+        assert all(b <= a for a, b in zip(marginals, marginals[1:]))
+
+    def test_exact_quadratic_form(self):
+        # V(tau) = -rho/(2v) tau^2 + rho tau at tau=2, v=4, rho=5: -5/8*4 + 10.
+        assert valuation(2.0, 4, 5.0) == pytest.approx(7.5)
+
+
+class TestValuationValidation:
+    def test_negative_tau_rejected(self):
+        with pytest.raises(ValueError):
+            valuation(-1.0, 4, 5.0)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ValueError):
+            valuation(1.0, 0, 5.0)
+
+    def test_nonpositive_rho_rejected(self):
+        with pytest.raises(ValueError):
+            valuation(1.0, 4, 0.0)
+
+
+class TestSatisfiedHours:
+    def test_tau_measured_on_allocation_vs_true_window(self):
+        # Theorem 2's scenario: allocation (14, 16) misses true (18, 20).
+        assert satisfied_hours(Interval(14, 16), Interval(18, 20)) == 0
+
+    def test_partial_overlap(self):
+        assert satisfied_hours(Interval(17, 19), Interval(18, 22)) == 1
+
+    def test_household_valuation_uses_true_window(self):
+        hh = HouseholdType("A", Preference.of(18, 20, 2), 5.0)
+        # Allocation fully inside the true window: maximum value rho*v/2.
+        assert household_valuation(hh, Interval(18, 20)) == pytest.approx(5.0)
+        # Allocation fully outside: zero value even if consumption defects back.
+        assert household_valuation(hh, Interval(14, 16)) == 0.0

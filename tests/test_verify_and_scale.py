@@ -1,0 +1,48 @@
+"""Tests for the verify compliance report and the scale sweep."""
+
+import pytest
+
+from repro.experiments import abl_scale, verify_properties
+
+
+class TestVerifyExperiment:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return verify_properties.run(n_households=10, seed=3)
+
+    def test_all_claims_pass(self, report):
+        failing = [row.claim for row in report.rows if not row.passed]
+        assert not failing, f"claims failed: {failing}"
+        assert report.all_passed
+
+    def test_covers_every_theorem_and_property(self, report):
+        claims = " ".join(row.claim for row in report.rows)
+        for marker in ("Thm 1", "Thm 2", "Thm 3", "Thm 4", "Thm 5", "Thm 6",
+                       "Property 1", "Property 2", "Property 3"):
+            assert marker in claims
+
+    def test_render_includes_verdicts(self, report):
+        rendered = report.render()
+        assert "PASS" in rendered
+        assert "all claims verified" in rendered
+
+
+class TestScaleExperiment:
+    def test_runs_at_moderate_scale(self):
+        result = abl_scale.run(populations=(50, 150), seed=1)
+        assert [p.n_households for p in result.points] == [50, 150]
+        for point in result.points:
+            assert point.greedy_ms > 0
+            assert 1.0 <= point.par <= 24.0
+            assert point.dynamics_rounds >= 1
+        assert "greedy (ms)" in result.render()
+
+    def test_greedy_time_subquadratic(self):
+        # Median of three runs guards against scheduler noise on shared CPUs.
+        ratios = []
+        for seed in (2, 3, 4):
+            result = abl_scale.run(populations=(100, 400), seed=seed)
+            small, large = result.points
+            ratios.append(large.greedy_ms / max(small.greedy_ms, 1.0))
+        # 4x the households should cost far less than 16x the time.
+        assert sorted(ratios)[1] < 16.0
