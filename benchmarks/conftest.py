@@ -6,16 +6,82 @@ survives pytest's output capture.  Scaled-down parameters keep a full
 ``pytest benchmarks/ --benchmark-only`` run in the minutes range; the
 paper-scale runs recorded in EXPERIMENTS.md use the CLI (``enki-repro``)
 with default parameters.
+
+Benchmarks that track the perf trajectory additionally record wall-times
+through the session-scoped :func:`bench_json` fixture, which merges them
+into ``BENCH_core.json`` at the repo root when the session ends — a
+machine-readable log of greedy/B&B solve times, settlement latency and
+study throughput (serial vs parallel) from this PR onward.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import pathlib
+import platform
+import time
 
 import numpy as np
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Machine-readable perf-trajectory log, at the repo root by design.
+BENCH_JSON_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_core.json"
+
+
+def _cpu_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+@pytest.fixture(scope="session")
+def bench_json():
+    """Recorder that persists named wall-time entries to ``BENCH_core.json``.
+
+    Usage: ``bench_json("greedy_solve_n50", seconds=0.0004, n_households=50)``.
+    Entries recorded during the session are merged over any existing file
+    (so partial benchmark runs refresh only what they measured) together
+    with machine metadata.
+    """
+    entries = {}
+
+    def _record(name: str, **fields) -> None:
+        entries[name] = fields
+
+    yield _record
+
+    if not entries:
+        return
+    payload = {"meta": {}, "benchmarks": {}}
+    if BENCH_JSON_PATH.exists():
+        try:
+            payload = json.loads(BENCH_JSON_PATH.read_text())
+        except (ValueError, OSError):
+            pass
+    payload.setdefault("benchmarks", {}).update(entries)
+    payload["meta"] = {
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "cpu_cores": _cpu_cores(),
+        "platform": platform.platform(),
+    }
+    BENCH_JSON_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def time_call(fn, repeats: int = 5, warmup: int = 1) -> float:
+    """Best-of-``repeats`` wall-time of ``fn()`` in seconds."""
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
 
 
 @pytest.fixture(scope="session")

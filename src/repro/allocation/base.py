@@ -11,8 +11,8 @@ from __future__ import annotations
 import abc
 import random
 import time
-from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Mapping, Optional, Tuple
 
 from ..core.intervals import Interval
 from ..core.types import (

@@ -12,13 +12,13 @@ from __future__ import annotations
 
 import random
 import time
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 
-from ..core.flexibility import flexibility_score, window_coverage
+from ..core.flexibility import flexibility_vector
 from ..core.intervals import HOURS_PER_DAY, Interval
-from ..core.types import AllocationMap, HouseholdId, Preference
+from ..core.types import AllocationMap, HouseholdId
 from ..pricing.quadratic import QuadraticPricing
 from .base import AllocationProblem, AllocationResult, Allocator
 
@@ -27,13 +27,16 @@ def predicted_flexibility_for_problem(
     problem: AllocationProblem,
 ) -> Dict[HouseholdId, float]:
     """Predicted flexibility (Eq. 4) of each item from the problem's windows."""
-    windows = {item.household_id: item.window for item in problem.items}
-    coverage = window_coverage(windows)
+    n = len(problem.items)
+    if n == 0:
+        return {}
+    starts = np.fromiter((item.window.start for item in problem.items), np.intp, count=n)
+    ends = np.fromiter((item.window.end for item in problem.items), np.intp, count=n)
+    durations = np.fromiter((item.duration for item in problem.items), np.intp, count=n)
+    scores = flexibility_vector(starts, ends, durations)
     return {
-        item.household_id: flexibility_score(
-            Preference(item.window, item.duration), coverage
-        )
-        for item in problem.items
+        item.household_id: score
+        for item, score in zip(problem.items, scores.tolist())
     }
 
 
@@ -73,13 +76,15 @@ class GreedyFlexibilityAllocator(Allocator):
         )
 
         loads = np.zeros(HOURS_PER_DAY, dtype=float)
+        prefix = np.zeros(HOURS_PER_DAY + 1, dtype=float)
         allocation: AllocationMap = {}
         quadratic = isinstance(problem.pricing, QuadraticPricing)
         for item in order:
-            best_start = self._best_start(problem, loads, item, quadratic)
+            best_start = self._best_start(problem, loads, prefix, item, quadratic)
             placed = Interval(best_start, best_start + item.duration)
             allocation[item.household_id] = placed
             loads[placed.start:placed.end] += item.rating_kw
+            np.cumsum(loads, out=prefix[1:])
 
         return self._finish(problem, allocation, started_at)
 
@@ -87,6 +92,7 @@ class GreedyFlexibilityAllocator(Allocator):
     def _best_start(
         problem: AllocationProblem,
         loads: np.ndarray,
+        prefix: np.ndarray,
         item,
         quadratic: bool,
     ) -> int:
@@ -94,21 +100,27 @@ class GreedyFlexibilityAllocator(Allocator):
 
         Under quadratic pricing the marginal cost of a block is, up to a
         placement-independent constant, proportional to the sum of existing
-        loads under the block, so a sliding-window sum finds the argmin in
-        O(W).  Other pricing models fall back to explicit evaluation.
+        loads under the block; the maintained prefix sum gives every
+        candidate window's sum in one vectorized subtraction, reused across
+        placements instead of re-convolving per item.  Other pricing models
+        get the same sliding-window treatment over per-hour marginal costs
+        (which depend only on that hour's load), so no candidate rescans
+        its hours.
         """
-        starts = range(item.window.start, item.window.end - item.duration + 1)
+        a, b, v = item.window.start, item.window.end, item.duration
         if quadratic:
-            window_loads = loads[item.window.start:item.window.end]
-            sums = np.convolve(window_loads, np.ones(item.duration), mode="valid")
-            return item.window.start + int(np.argmin(sums))
+            # Window sum of existing loads for every start s: prefix[s+v]-prefix[s].
+            sums = prefix[a + v:b + 1] - prefix[a:b - v + 1]
+            return a + int(np.argmin(sums))
 
-        best_start, best_delta = item.window.start, float("inf")
-        for start in starts:
-            delta = sum(
-                problem.pricing.marginal_cost(loads[h], item.rating_kw)
-                for h in range(start, start + item.duration)
-            )
-            if delta < best_delta:
-                best_start, best_delta = start, delta
-        return best_start
+        hourly = np.fromiter(
+            (
+                problem.pricing.marginal_cost(float(load), item.rating_kw)
+                for load in loads[a:b]
+            ),
+            dtype=float,
+            count=b - a,
+        )
+        window_prefix = np.concatenate(([0.0], np.cumsum(hourly)))
+        deltas = window_prefix[v:] - window_prefix[:-v]
+        return a + int(np.argmin(deltas))

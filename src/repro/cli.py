@@ -14,7 +14,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .experiments.runner import EXPERIMENTS, run_all, run_experiment
+from .experiments.runner import EXPERIMENTS, run_experiment
 
 #: Experiments that accept the social-welfare sweep options.
 _SWEEP_EXPERIMENTS = {"fig4", "fig5", "fig6"}
@@ -42,6 +42,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--audit", type=str, default=None, help="JSONL audit log path (simulate)"
     )
     parser.add_argument("--seed", type=int, default=None, help="master seed override")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for the day/session fan-out (1 = serial, "
+            "0 = all cores); results are identical for any value"
+        ),
+    )
     parser.add_argument(
         "--days", type=int, default=None, help="simulated days per setting"
     )
@@ -79,6 +88,10 @@ def _overrides_for(experiment_id: str, args: argparse.Namespace) -> dict:
     overrides: dict = {}
     if args.seed is not None:
         overrides["seed"] = args.seed
+    if args.workers is not None and experiment_id in (
+        _SWEEP_EXPERIMENTS | _STUDY_EXPERIMENTS
+    ):
+        overrides["workers"] = args.workers
     if experiment_id in _SWEEP_EXPERIMENTS:
         if args.days is not None:
             overrides["days"] = args.days
@@ -111,7 +124,12 @@ def _simulate(args: argparse.Namespace) -> int:
     profiles = generator.sample_population(np.random.default_rng(seed), args.n)
     neighborhood = neighborhood_from_profiles(profiles, "wide")
     simulation = NeighborhoodSimulation(EnkiMechanism(seed=seed))
-    outcomes = simulation.run(neighborhood, days=days, seed=seed)
+    outcomes = simulation.run(
+        neighborhood,
+        days=days,
+        seed=seed,
+        workers=args.workers if args.workers is not None else 1,
+    )
 
     audit = AuditLog(args.audit) if args.audit else None
     rows = []

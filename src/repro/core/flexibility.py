@@ -13,11 +13,16 @@ Two variants appear in the paper:
 * **Realized** flexibility feeds the payment: it equals the predicted score
   when the household follows its allocation and is 0 when it defects
   ("f_i = 0 ... when the household misreports and defects").
+
+The batched entry points (:func:`coverage_from_arrays`,
+:func:`flexibility_vector`) score a whole neighborhood in a handful of
+numpy operations; the mapping-based helpers wrap them so scalar and
+batched callers share one implementation.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Mapping
+from typing import Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -25,12 +30,65 @@ from .intervals import HOURS_PER_DAY, Interval
 from .types import AllocationMap, ConsumptionMap, HouseholdId, Preference
 
 
+def coverage_from_arrays(starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+    """``n_h`` for each hour from parallel window-bound arrays.
+
+    Difference-array construction: +1 at each window start, -1 at each end,
+    then one cumulative sum — O(n + 24) with no per-household Python work.
+    """
+    delta = np.zeros(HOURS_PER_DAY + 1, dtype=float)
+    np.add.at(delta, starts, 1.0)
+    np.add.at(delta, ends, -1.0)
+    return np.cumsum(delta[:HOURS_PER_DAY])
+
+
 def window_coverage(windows: Mapping[HouseholdId, Interval]) -> np.ndarray:
     """``n_h`` for each hour: how many windows cover hour ``h``."""
-    coverage = np.zeros(HOURS_PER_DAY, dtype=float)
-    for window in windows.values():
-        coverage[window.start:window.end] += 1.0
-    return coverage
+    n = len(windows)
+    if n == 0:
+        return np.zeros(HOURS_PER_DAY, dtype=float)
+    starts = np.fromiter(
+        (window.start for window in windows.values()), dtype=np.intp, count=n
+    )
+    ends = np.fromiter(
+        (window.end for window in windows.values()), dtype=np.intp, count=n
+    )
+    return coverage_from_arrays(starts, ends)
+
+
+def flexibility_vector(
+    starts: np.ndarray,
+    ends: np.ndarray,
+    durations: np.ndarray,
+    coverage: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Eq. 4 for every household at once.
+
+    Args:
+        starts: Reported window starts, shape ``(n,)``.
+        ends: Reported window ends, shape ``(n,)``.
+        durations: Reported durations ``v_i``, shape ``(n,)``.
+        coverage: Hourly ``n_h`` counts; derived from the windows
+            themselves when omitted (the usual case — every household is
+            scored against the population it belongs to).
+
+    Returns:
+        ``f_i`` per household: ``(window_length / v_i) / N_i`` with ``N_i``
+        the mean coverage over the window, evaluated via a prefix sum of
+        ``coverage`` so all windows share one O(24) pass.
+    """
+    if coverage is None:
+        coverage = coverage_from_arrays(starts, ends)
+    prefix = np.concatenate(([0.0], np.cumsum(coverage)))
+    lengths = (ends - starts).astype(float)
+    n_mean = (prefix[ends] - prefix[starts]) / lengths
+    if np.any(n_mean <= 0):
+        bad = int(np.flatnonzero(n_mean <= 0)[0])
+        raise ValueError(
+            f"coverage over [{int(starts[bad])}, {int(ends[bad])}) must count "
+            f"the household itself (got mean {float(n_mean[bad])})"
+        )
+    return (lengths / np.asarray(durations, dtype=float)) / n_mean
 
 
 def flexibility_score(
@@ -55,6 +113,23 @@ def flexibility_score(
     return (window.length / preference.duration) / n_mean
 
 
+def _preference_arrays(
+    reports: Mapping[HouseholdId, Preference],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Parallel (starts, ends, durations) arrays in ``reports`` order."""
+    n = len(reports)
+    starts = np.fromiter(
+        (pref.window.start for pref in reports.values()), dtype=np.intp, count=n
+    )
+    ends = np.fromiter(
+        (pref.window.end for pref in reports.values()), dtype=np.intp, count=n
+    )
+    durations = np.fromiter(
+        (pref.duration for pref in reports.values()), dtype=np.intp, count=n
+    )
+    return starts, ends, durations
+
+
 def predicted_flexibility(
     reports: Mapping[HouseholdId, Preference],
 ) -> Dict[HouseholdId, float]:
@@ -64,11 +139,11 @@ def predicted_flexibility(
     positive predicted score because the center cannot yet know they will
     defect (Section IV-C).
     """
-    windows = {hid: pref.window for hid, pref in reports.items()}
-    coverage = window_coverage(windows)
-    return {
-        hid: flexibility_score(pref, coverage) for hid, pref in reports.items()
-    }
+    if not reports:
+        return {}
+    starts, ends, durations = _preference_arrays(reports)
+    scores = flexibility_vector(starts, ends, durations)
+    return dict(zip(reports, scores.tolist()))
 
 
 def realized_flexibility(
@@ -82,9 +157,14 @@ def realized_flexibility(
     score entirely; cooperative households keep the Eq. 4 value computed
     from the reported windows.
     """
-    predicted = predicted_flexibility(reports)
-    scores: Dict[HouseholdId, float] = {}
-    for hid, score in predicted.items():
-        followed = consumption[hid] == allocation[hid]
-        scores[hid] = score if followed else 0.0
-    return scores
+    if not reports:
+        return {}
+    starts, ends, durations = _preference_arrays(reports)
+    predicted = flexibility_vector(starts, ends, durations)
+    followed = np.fromiter(
+        (consumption[hid] == allocation[hid] for hid in reports),
+        dtype=bool,
+        count=len(reports),
+    )
+    scores = np.where(followed, predicted, 0.0)
+    return dict(zip(reports, scores.tolist()))

@@ -11,19 +11,21 @@ scores (Eq. 5), social-cost scores (Eq. 6), payments (Eq. 7), valuations
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Mapping, Optional
+
+import numpy as np
 
 from ..allocation.base import AllocationProblem, AllocationResult, Allocator
 from ..allocation.greedy import GreedyFlexibilityAllocator
 from ..pricing.base import PricingModel
 from ..pricing.load_profile import LoadProfile
 from ..pricing.quadratic import QuadraticPricing
-from .defection import defection_scores, overlap_fraction
-from .flexibility import realized_flexibility
+from .defection import defection_vector
+from .flexibility import flexibility_vector
 from .intervals import Interval
-from .payments import DEFAULT_XI, neighborhood_utility, payments
-from .social_cost import DEFAULT_K, social_cost_scores
+from .payments import DEFAULT_XI, payments_vector
+from .social_cost import DEFAULT_K, social_cost_vector
 from .types import (
     AllocationMap,
     ConsumptionMap,
@@ -33,7 +35,7 @@ from .types import (
     validate_allocation,
     validate_consumption,
 )
-from .valuation import household_valuation
+from .valuation import valuation_vector
 
 
 def truthful_reports(neighborhood: Neighborhood) -> Dict[HouseholdId, Report]:
@@ -162,36 +164,86 @@ class EnkiMechanism:
         allocation: AllocationMap,
         consumption: ConsumptionMap,
     ) -> Settlement:
-        """Bill a completed day (Eqs. 3-8)."""
+        """Bill a completed day (Eqs. 3-8).
+
+        The whole scoring chain (flexibility, defection, social cost,
+        payments, valuations, utilities, overlaps) runs batched over
+        parallel numpy arrays — one pass to unpack the intervals, then
+        pure array arithmetic — so settlement cost is dominated by O(n)
+        array construction rather than per-household Python loops.
+        """
         validate_allocation(dict(reports), allocation)
         validate_consumption(neighborhood.households, consumption)
 
         types = neighborhood.households
-        profile = LoadProfile.from_schedule(consumption, types)
+        ids = list(types)
+        n = len(ids)
+        alloc_starts = np.fromiter((allocation[h].start for h in ids), np.intp, count=n)
+        alloc_ends = np.fromiter((allocation[h].end for h in ids), np.intp, count=n)
+        cons_starts = np.fromiter((consumption[h].start for h in ids), np.intp, count=n)
+        cons_ends = np.fromiter((consumption[h].end for h in ids), np.intp, count=n)
+        ratings = np.fromiter((types[h].rating_kw for h in ids), float, count=n)
+        rep_starts = np.fromiter(
+            (reports[h].preference.window.start for h in ids), np.intp, count=n
+        )
+        rep_ends = np.fromiter(
+            (reports[h].preference.window.end for h in ids), np.intp, count=n
+        )
+        rep_durations = np.fromiter(
+            (reports[h].preference.duration for h in ids), np.intp, count=n
+        )
+
+        profile = LoadProfile.from_arrays(cons_starts, cons_ends, ratings)
         total_cost = self.pricing.cost(profile)
 
-        preferences = {hid: report.preference for hid, report in reports.items()}
-        flexibility = realized_flexibility(preferences, allocation, consumption)
-        defection = defection_scores(allocation, consumption, types, self.pricing)
-        social = social_cost_scores(flexibility, defection, self.k)
-        pay = payments(social, total_cost, self.xi)
-        valuations = {
-            hid: household_valuation(types[hid], allocation[hid]) for hid in types
-        }
-        utilities = {hid: valuations[hid] - pay[hid] for hid in types}
-        overlaps = {
-            hid: overlap_fraction(allocation[hid], consumption[hid]) for hid in types
-        }
+        # Eq. 4: realized flexibility — predicted score gated on compliance.
+        followed = (alloc_starts == cons_starts) & (alloc_ends == cons_ends)
+        flexibility_arr = np.where(
+            followed, flexibility_vector(rep_starts, rep_ends, rep_durations), 0.0
+        )
+        # Eq. 5 / Eq. 6 / Eq. 7, all batched.
+        defection_arr = defection_vector(
+            alloc_starts, alloc_ends, cons_starts, cons_ends, ratings, self.pricing
+        )
+        social_arr = social_cost_vector(flexibility_arr, defection_arr, self.k)
+        payments_arr = payments_vector(social_arr, total_cost, self.xi)
+
+        # Eq. 3 against the *true* windows, and Eq. 8 utilities.
+        true_starts = np.fromiter(
+            (types[h].true_preference.window.start for h in ids), np.intp, count=n
+        )
+        true_ends = np.fromiter(
+            (types[h].true_preference.window.end for h in ids), np.intp, count=n
+        )
+        true_durations = np.fromiter(
+            (types[h].true_preference.duration for h in ids), np.intp, count=n
+        )
+        factors = np.fromiter(
+            (types[h].valuation_factor for h in ids), float, count=n
+        )
+        tau = np.clip(
+            np.minimum(alloc_ends, true_ends) - np.maximum(alloc_starts, true_starts),
+            0,
+            None,
+        )
+        valuations_arr = valuation_vector(tau, true_durations, factors)
+        utilities_arr = valuations_arr - payments_arr
+        overlaps_arr = np.clip(
+            np.minimum(alloc_ends, cons_ends) - np.maximum(alloc_starts, cons_starts),
+            0,
+            None,
+        ) / (alloc_ends - alloc_starts)
+
         return Settlement(
             total_cost=total_cost,
-            flexibility=flexibility,
-            defection=defection,
-            social_cost=social,
-            payments=pay,
-            valuations=valuations,
-            utilities=utilities,
-            overlap_fractions=overlaps,
-            neighborhood_utility=neighborhood_utility(pay, total_cost),
+            flexibility=dict(zip(ids, flexibility_arr.tolist())),
+            defection=dict(zip(ids, defection_arr.tolist())),
+            social_cost=dict(zip(ids, social_arr.tolist())),
+            payments=dict(zip(ids, payments_arr.tolist())),
+            valuations=dict(zip(ids, valuations_arr.tolist())),
+            utilities=dict(zip(ids, utilities_arr.tolist())),
+            overlap_fractions=dict(zip(ids, overlaps_arr.tolist())),
+            neighborhood_utility=float(payments_arr.sum()) - total_cost,
             load_profile=profile,
         )
 

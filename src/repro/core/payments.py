@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Dict, Mapping
 
+import numpy as np
+
 from .types import HouseholdId
 
 #: Payment scaling factor ``xi`` from Section VI.
@@ -45,6 +47,28 @@ def payments(
         hid: score / total_score * xi * total_cost
         for hid, score in social_cost.items()
     }
+
+
+def payments_vector(
+    social_cost: np.ndarray,
+    total_cost: float,
+    xi: float = DEFAULT_XI,
+) -> np.ndarray:
+    """Vectorized Eq. 7 over a social-cost-score array.
+
+    Mirrors :func:`payments` (same validation, same output) for the
+    batched settlement path.
+    """
+    if xi < 1.0:
+        raise ValueError(f"xi must be >= 1 for budget balance, got {xi}")
+    if total_cost < 0:
+        raise ValueError(f"total cost cannot be negative, got {total_cost}")
+    if social_cost.size == 0:
+        return np.zeros(0, dtype=float)
+    total_score = float(social_cost.sum())
+    if total_score <= 0:
+        raise ValueError("social-cost scores must sum to a positive value")
+    return social_cost / total_score * (xi * total_cost)
 
 
 def neighborhood_utility(

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from typing import Dict, Mapping
 
+import numpy as np
+
 from .types import HouseholdId
 
 #: Scaling factor ``k`` from Section VI.
@@ -34,6 +36,41 @@ def normalized_shares(scores: Mapping[HouseholdId, float]) -> Dict[HouseholdId, 
     if total <= 0:
         return {hid: NORMALIZATION_OFFSET for hid in scores}
     return {hid: value / total + NORMALIZATION_OFFSET for hid, value in scores.items()}
+
+
+def normalized_shares_vector(scores: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`normalized_shares` over a raw-score array."""
+    total = float(scores.sum())
+    if total <= 0:
+        return np.full(scores.shape, NORMALIZATION_OFFSET)
+    return scores / total + NORMALIZATION_OFFSET
+
+
+def social_cost_vector(
+    flexibility: np.ndarray,
+    defection: np.ndarray,
+    k: float = DEFAULT_K,
+) -> np.ndarray:
+    """Eq. 6 for every household at once from raw-score arrays.
+
+    Mirrors :func:`social_cost_scores` (same validation, same output) for
+    the batched settlement path.
+    """
+    if k <= 0:
+        raise ValueError(f"scaling factor k must be positive, got {k}")
+    if flexibility.shape != defection.shape:
+        raise ValueError("flexibility and defection scores cover different households")
+    for name, scores in (("flexibility", flexibility), ("defection", defection)):
+        if np.any(scores < 0):
+            raise ValueError(
+                f"negative {name} scores at indices "
+                f"{np.flatnonzero(scores < 0).tolist()}"
+            )
+    return (
+        k
+        * normalized_shares_vector(defection)
+        / normalized_shares_vector(flexibility)
+    )
 
 
 def social_cost_scores(

@@ -12,6 +12,8 @@ The paper's four criteria, all satisfied by this concave quadratic:
 
 from __future__ import annotations
 
+import numpy as np
+
 from .intervals import Interval
 from .types import HouseholdType
 
@@ -37,6 +39,23 @@ def valuation(tau: float, duration: int, valuation_factor: float) -> float:
         raise ValueError(f"tau cannot be negative, got {tau}")
     tau = min(tau, float(duration))
     return -valuation_factor / (2.0 * duration) * tau * tau + valuation_factor * tau
+
+
+def valuation_vector(
+    tau: np.ndarray,
+    durations: np.ndarray,
+    valuation_factors: np.ndarray,
+) -> np.ndarray:
+    """Vectorized Eq. 3 over parallel household arrays.
+
+    ``tau`` is clamped to ``durations`` elementwise, matching the scalar
+    :func:`valuation`; inputs are assumed pre-validated (durations >= 1,
+    factors > 0, tau >= 0) as they come from checked domain types.
+    """
+    durations = np.asarray(durations, dtype=float)
+    factors = np.asarray(valuation_factors, dtype=float)
+    clamped = np.minimum(np.asarray(tau, dtype=float), durations)
+    return -factors / (2.0 * durations) * clamped * clamped + factors * clamped
 
 
 def max_valuation(duration: int, valuation_factor: float) -> float:

@@ -51,13 +51,15 @@ class ArrivalOrderGreedy(GreedyFlexibilityAllocator):
         rng.shuffle(order)
 
         loads = np.zeros(HOURS_PER_DAY, dtype=float)
+        prefix = np.zeros(HOURS_PER_DAY + 1, dtype=float)
         allocation: AllocationMap = {}
         quadratic = isinstance(problem.pricing, QuadraticPricing)
         for item in order:
-            best_start = self._best_start(problem, loads, item, quadratic)
+            best_start = self._best_start(problem, loads, prefix, item, quadratic)
             placed = Interval(best_start, best_start + item.duration)
             allocation[item.household_id] = placed
             loads[placed.start:placed.end] += item.rating_kw
+            np.cumsum(loads, out=prefix[1:])
         return self._finish(problem, allocation, started_at)
 
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Optional
 
 from ..core.intervals import Interval
 from ..core.mechanism import DayOutcome, EnkiMechanism

@@ -8,7 +8,7 @@ the 2-4 band across 10-50 households.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from ..sim.results import format_table
 from .social_welfare import (
@@ -81,8 +81,11 @@ def run(
     days: int = PAPER_DAYS,
     seed: Optional[int] = 2017,
     optimal_time_limit_s: float = 60.0,
+    workers: Optional[int] = 1,
 ) -> Fig4Result:
     """Regenerate Figure 4 from scratch."""
     return extract(
-        run_social_welfare_study(populations, days, seed, optimal_time_limit_s)
+        run_social_welfare_study(
+            populations, days, seed, optimal_time_limit_s, workers=workers
+        )
     )

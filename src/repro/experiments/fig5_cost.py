@@ -81,8 +81,11 @@ def run(
     days: int = PAPER_DAYS,
     seed: Optional[int] = 2017,
     optimal_time_limit_s: float = 60.0,
+    workers: Optional[int] = 1,
 ) -> Fig5Result:
     """Regenerate Figure 5 from scratch."""
     return extract(
-        run_social_welfare_study(populations, days, seed, optimal_time_limit_s)
+        run_social_welfare_study(
+            populations, days, seed, optimal_time_limit_s, workers=workers
+        )
     )

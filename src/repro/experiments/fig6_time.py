@@ -82,8 +82,16 @@ def run(
     days: int = PAPER_DAYS,
     seed: Optional[int] = 2017,
     optimal_time_limit_s: float = 60.0,
+    workers: Optional[int] = 1,
 ) -> Fig6Result:
-    """Regenerate Figure 6 from scratch."""
+    """Regenerate Figure 6 from scratch.
+
+    ``workers`` fans the day instances across processes; scheduling times
+    are still measured per-solve inside each worker, so Figure 6's series
+    are comparable across worker counts.
+    """
     return extract(
-        run_social_welfare_study(populations, days, seed, optimal_time_limit_s)
+        run_social_welfare_study(
+            populations, days, seed, optimal_time_limit_s, workers=workers
+        )
     )

@@ -74,6 +74,9 @@ def extract(study: StudyResult) -> Fig8Result:
     )
 
 
-def run(seed: Optional[int] = DEFAULT_STUDY_SEED) -> Fig8Result:
+def run(
+    seed: Optional[int] = DEFAULT_STUDY_SEED,
+    workers: Optional[int] = 1,
+) -> Fig8Result:
     """Regenerate Figure 8 from scratch."""
-    return extract(run_default_study(seed))
+    return extract(run_default_study(seed, workers=workers))

@@ -73,6 +73,9 @@ def extract(study: StudyResult, n_intermediate: int = 4) -> Fig9Result:
     )
 
 
-def run(seed: Optional[int] = DEFAULT_STUDY_SEED) -> Fig9Result:
+def run(
+    seed: Optional[int] = DEFAULT_STUDY_SEED,
+    workers: Optional[int] = 1,
+) -> Fig9Result:
     """Regenerate Figure 9 from scratch."""
-    return extract(run_default_study(seed))
+    return extract(run_default_study(seed, workers=workers))

@@ -46,6 +46,7 @@ def run_social_welfare_study(
     days: int = PAPER_DAYS,
     seed: Optional[int] = 2017,
     optimal_time_limit_s: float = 60.0,
+    workers: Optional[int] = 1,
 ) -> SocialWelfareResult:
     """Run the Figures 4-6 study once.
 
@@ -56,6 +57,8 @@ def run_social_welfare_study(
         optimal_time_limit_s: Anytime budget for the exact solver; the
             returned points carry the fraction of days it proved
             optimality within the budget.
+        workers: Worker processes for the day fan-out (``1`` = serial,
+            ``0`` = all cores); results are bit-identical across counts.
     """
     study = SocialWelfareStudy(
         allocators=[
@@ -63,7 +66,7 @@ def run_social_welfare_study(
             BranchAndBoundAllocator(time_limit_s=optimal_time_limit_s),
         ]
     )
-    records = study.sweep(populations, days, seed)
+    records = study.sweep(populations, days, seed, workers=workers)
     return SocialWelfareResult(
         records=records,
         points=summarize_records(records),

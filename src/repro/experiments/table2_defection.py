@@ -50,6 +50,9 @@ def extract(study: StudyResult) -> Table2Result:
     return Table2Result(rates=average_defection_rates(study))
 
 
-def run(seed: Optional[int] = DEFAULT_STUDY_SEED) -> Table2Result:
+def run(
+    seed: Optional[int] = DEFAULT_STUDY_SEED,
+    workers: Optional[int] = 1,
+) -> Table2Result:
     """Regenerate Table II from scratch."""
-    return extract(run_default_study(seed))
+    return extract(run_default_study(seed, workers=workers))

@@ -58,6 +58,9 @@ def extract(study: StudyResult) -> Table3Result:
     return Table3Result(tests=defection_mann_whitney(study))
 
 
-def run(seed: Optional[int] = DEFAULT_STUDY_SEED) -> Table3Result:
+def run(
+    seed: Optional[int] = DEFAULT_STUDY_SEED,
+    workers: Optional[int] = 1,
+) -> Table3Result:
     """Regenerate Table III from scratch."""
-    return extract(run_default_study(seed))
+    return extract(run_default_study(seed, workers=workers))

@@ -55,6 +55,9 @@ def extract(study: StudyResult) -> Table4Result:
     return Table4Result(rates=treatment_defection_rates(study))
 
 
-def run(seed: Optional[int] = DEFAULT_STUDY_SEED) -> Table4Result:
+def run(
+    seed: Optional[int] = DEFAULT_STUDY_SEED,
+    workers: Optional[int] = 1,
+) -> Table4Result:
     """Regenerate Table IV from scratch."""
-    return extract(run_default_study(seed))
+    return extract(run_default_study(seed, workers=workers))

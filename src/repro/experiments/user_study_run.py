@@ -15,6 +15,14 @@ from ..userstudy.treatments import StudyResult, run_study
 DEFAULT_STUDY_SEED = 1720
 
 
-def run_default_study(seed: Optional[int] = DEFAULT_STUDY_SEED) -> StudyResult:
-    """One full study with the paper's subject mix and session design."""
-    return run_study(seed=seed)
+def run_default_study(
+    seed: Optional[int] = DEFAULT_STUDY_SEED,
+    workers: Optional[int] = 1,
+) -> StudyResult:
+    """One full study with the paper's subject mix and session design.
+
+    ``workers`` fans the eight independent sessions across processes;
+    results are identical for any worker count (sessions are seeded
+    before any of them plays).
+    """
+    return run_study(seed=seed, workers=workers)

@@ -28,14 +28,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core.intervals import HOURS_PER_DAY, Interval
-from ..core.mechanism import DayOutcome, EnkiMechanism, truthful_reports
+from ..core.mechanism import DayOutcome, EnkiMechanism
 from ..core.types import (
     HouseholdId,
     Neighborhood,
     Preference,
     Report,
 )
-from ..pricing.quadratic import QuadraticPricing
 
 
 @dataclass(frozen=True)

@@ -16,9 +16,8 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ..core.mechanism import DayOutcome, EnkiMechanism, truthful_reports
+from ..core.mechanism import DayOutcome, EnkiMechanism
 from ..core.types import HouseholdId, Neighborhood
-from ..core.valuation import max_valuation
 
 
 @dataclass

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, Optional
 
 from ..core.mechanism import DayOutcome
 from .serialize import SCHEMA_VERSION, day_outcome_to_dict

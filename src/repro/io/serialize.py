@@ -13,7 +13,6 @@ from typing import Any, Dict, Mapping
 from ..core.intervals import Interval
 from ..core.mechanism import DayOutcome, Settlement
 from ..core.types import (
-    HouseholdId,
     HouseholdType,
     Neighborhood,
     Preference,

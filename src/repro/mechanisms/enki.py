@@ -5,7 +5,7 @@ from __future__ import annotations
 import random
 from typing import Mapping, Optional
 
-from ..core.mechanism import EnkiMechanism, truthful_reports
+from ..core.mechanism import EnkiMechanism
 from ..core.types import HouseholdId, Neighborhood, Report
 from .base import Mechanism, MechanismDayResult
 

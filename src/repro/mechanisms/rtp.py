@@ -20,7 +20,6 @@ from typing import Dict, List, Mapping, Optional
 from ..core.intervals import HOURS_PER_DAY, Interval
 from ..core.payments import DEFAULT_XI, proportional_payments
 from ..core.types import HouseholdId, Neighborhood, Report
-from ..core.mechanism import truthful_reports
 from ..core.valuation import max_valuation
 from ..pricing.load_profile import LoadProfile
 from ..pricing.quadratic import QuadraticPricing

@@ -19,7 +19,7 @@ term needs its own exact optimization.
 from __future__ import annotations
 
 import random
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 from ..allocation.base import AllocationProblem
 from ..allocation.optimal import BranchAndBoundAllocator

@@ -5,6 +5,8 @@ from __future__ import annotations
 import abc
 from typing import Mapping, Optional
 
+import numpy as np
+
 from ..core.intervals import HOURS_PER_DAY, Interval
 from ..core.types import HouseholdId, HouseholdType
 from .load_profile import LoadProfile
@@ -25,6 +27,29 @@ class PricingModel(abc.ABC):
     def cost(self, profile: LoadProfile) -> float:
         """Total daily cost ``kappa = sum_h P_h(l_h)`` (Eq. 1)."""
         return sum(self.hourly_cost(profile[h]) for h in range(HOURS_PER_DAY))
+
+    def cost_batch(self, loads: "np.ndarray") -> "np.ndarray":
+        """``kappa`` for a batch of hourly load vectors, shape ``(..., 24)``.
+
+        The vectorized settlement path evaluates every defector's
+        counterfactual profile in one call.  Subclasses with closed-form
+        costs (e.g. quadratic) should override this with a pure array
+        expression; the default falls back to :meth:`hourly_cost` per
+        entry, preserving exact hourly semantics for custom models.
+        """
+        arr = np.asarray(loads, dtype=float)
+        if arr.shape[-1] != HOURS_PER_DAY:
+            raise ValueError(
+                f"load batch must have {HOURS_PER_DAY} hourly values per row, "
+                f"got shape {arr.shape}"
+            )
+        flat = arr.reshape(-1)
+        costs = np.fromiter(
+            (self.hourly_cost(float(value)) for value in flat),
+            dtype=float,
+            count=flat.size,
+        )
+        return costs.reshape(arr.shape).sum(axis=-1)
 
     def schedule_cost(
         self,

@@ -36,15 +36,58 @@ class LoadProfile:
             self._loads = arr.copy()
 
     @classmethod
+    def _wrap(cls, loads: np.ndarray) -> "LoadProfile":
+        """Adopt ``loads`` (a length-24 float array) without validation.
+
+        Internal fast path for builders that construct the vector
+        themselves; callers must guarantee shape and non-negativity.
+        """
+        profile = cls.__new__(cls)
+        profile._loads = loads
+        return profile
+
+    @classmethod
+    def from_arrays(
+        cls,
+        starts: np.ndarray,
+        ends: np.ndarray,
+        ratings: np.ndarray,
+    ) -> "LoadProfile":
+        """Build a profile from parallel arrays of block bounds and ratings.
+
+        The vectorized builder behind :meth:`from_schedule` and the
+        settlement hot path: each block ``[starts[i], ends[i])`` contributes
+        ``ratings[i]`` kW per covered hour.  Implemented as a difference
+        array (+rating at start, -rating at end) followed by one cumulative
+        sum, so cost is O(n + 24) with no per-household Python work.
+        """
+        delta = np.zeros(HOURS_PER_DAY + 1, dtype=float)
+        np.add.at(delta, starts, ratings)
+        np.add.at(delta, ends, -ratings)
+        return cls._wrap(np.cumsum(delta[:HOURS_PER_DAY]))
+
+    @classmethod
     def from_intervals(
         cls,
         intervals: Iterable[Tuple[Interval, float]],
     ) -> "LoadProfile":
         """Build a profile from ``(interval, rating_kw)`` pairs."""
-        profile = cls()
-        for interval, rating in intervals:
-            profile.add(interval, rating)
-        return profile
+        pairs = list(intervals)
+        if not pairs:
+            return cls()
+        for _, rating in pairs:
+            if rating < 0:
+                raise ValueError("rating must be non-negative")
+        starts = np.fromiter(
+            (interval.start for interval, _ in pairs), dtype=np.intp, count=len(pairs)
+        )
+        ends = np.fromiter(
+            (interval.end for interval, _ in pairs), dtype=np.intp, count=len(pairs)
+        )
+        ratings = np.fromiter(
+            (rating for _, rating in pairs), dtype=float, count=len(pairs)
+        )
+        return cls.from_arrays(starts, ends, ratings)
 
     @classmethod
     def from_schedule(
@@ -57,11 +100,22 @@ class LoadProfile:
         When ``types`` is given, each household contributes its own rating;
         otherwise the default 2 kW rating applies.
         """
-        profile = cls()
-        for hid, interval in schedule.items():
-            rating = types[hid].rating_kw if types is not None else DEFAULT_RATING_KW
-            profile.add(interval, rating)
-        return profile
+        n = len(schedule)
+        if n == 0:
+            return cls()
+        starts = np.fromiter(
+            (interval.start for interval in schedule.values()), dtype=np.intp, count=n
+        )
+        ends = np.fromiter(
+            (interval.end for interval in schedule.values()), dtype=np.intp, count=n
+        )
+        if types is None:
+            ratings = np.full(n, DEFAULT_RATING_KW)
+        else:
+            ratings = np.fromiter(
+                (types[hid].rating_kw for hid in schedule), dtype=float, count=n
+            )
+        return cls.from_arrays(starts, ends, ratings)
 
     def add(self, interval: Interval, rating_kw: float) -> None:
         """Add ``rating_kw`` to every hour covered by ``interval`` (in place)."""

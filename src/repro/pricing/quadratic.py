@@ -39,6 +39,11 @@ class QuadraticPricing(PricingModel):
         loads = profile.as_array()
         return float(self.sigma * np.dot(loads, loads))
 
+    def cost_batch(self, loads: np.ndarray) -> np.ndarray:
+        """Closed-form batched Eq. 1: ``sigma * sum_h l_h**2`` per row."""
+        arr = np.asarray(loads, dtype=float)
+        return self.sigma * np.einsum("...h,...h->...", arr, arr)
+
     def marginal_block_cost(
         self, profile: LoadProfile, interval: Interval, rating_kw: float
     ) -> float:

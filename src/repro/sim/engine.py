@@ -10,15 +10,20 @@ Two drivers live here:
   Enki mechanism with pluggable reporting/consumption policies, used by the
   incentive-compatibility experiment, the theory property checkers and the
   examples.
+
+Both engines treat each simulated day as an independent task driven by its
+own keyed RNG substream (:func:`repro.sim.rng.make_day_rngs`), so a run is
+a pure function of ``(seed, day)`` per day.  The ``workers`` knob fans the
+day loop across a process pool (:mod:`repro.sim.parallel`); parallel runs
+are bit-identical to serial runs at the same seed because no generator
+state crosses a day boundary.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
-
-import numpy as np
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..allocation.base import AllocationProblem, Allocator
 from ..core.intervals import Interval
@@ -37,8 +42,9 @@ from ..core.types import (
 from ..pricing.base import PricingModel
 from ..pricing.load_profile import LoadProfile
 from ..pricing.quadratic import QuadraticPricing
+from .parallel import map_tasks
 from .profiles import ProfileGenerator, neighborhood_from_profiles
-from .rng import make_rngs, spawn_seed
+from .rng import make_day_rngs, root_entropy, spawn_seed
 
 
 @dataclass(frozen=True)
@@ -53,6 +59,47 @@ class AllocatorDayRecord:
     wall_time_s: float
     proven_optimal: bool
     nodes_explored: int
+
+
+def _run_study_day(
+    task: Tuple["SocialWelfareStudy", int, int, int],
+) -> List[AllocatorDayRecord]:
+    """One Figures 4-6 day: sample a population, run every allocator.
+
+    Module-level so the parallel runtime can pickle it; ``task`` carries
+    the study (its allocators, generator and pricing), the root entropy,
+    the day index and the population size.
+    """
+    study, root, day, n_households = task
+    py_rng, np_rng = make_day_rngs(root, day)
+    profiles = study.generator.sample_population(np_rng, n_households)
+    neighborhood = neighborhood_from_profiles(profiles, study.true_preference)
+    reports = {
+        hh.household_id: Report(hh.household_id, hh.true_preference)
+        for hh in neighborhood
+    }
+    problem = AllocationProblem.from_reports(
+        reports, neighborhood.households, study.pricing
+    )
+    records: List[AllocatorDayRecord] = []
+    for allocator in study.allocators:
+        result = allocator.solve(problem, random.Random(spawn_seed(py_rng)))
+        profile = LoadProfile.from_schedule(
+            result.allocation, neighborhood.households
+        )
+        records.append(
+            AllocatorDayRecord(
+                day=day,
+                n_households=n_households,
+                allocator=allocator.name,
+                par=profile.peak_to_average_ratio(),
+                cost=result.cost,
+                wall_time_s=result.wall_time_s,
+                proven_optimal=result.proven_optimal,
+                nodes_explored=result.nodes_explored,
+            )
+        )
+    return records
 
 
 class SocialWelfareStudy:
@@ -84,53 +131,45 @@ class SocialWelfareStudy:
         self.pricing = pricing if pricing is not None else QuadraticPricing()
         self.true_preference = true_preference
 
-    def run(self, n_households: int, days: int, seed: Optional[int] = None
-            ) -> List[AllocatorDayRecord]:
-        """Simulate ``days`` independent days with ``n_households`` each."""
+    def run(
+        self,
+        n_households: int,
+        days: int,
+        seed: Optional[int] = None,
+        workers: Optional[int] = 1,
+    ) -> List[AllocatorDayRecord]:
+        """Simulate ``days`` independent days with ``n_households`` each.
+
+        Args:
+            n_households: Population size sampled fresh every day.
+            days: Number of independent day instances.
+            seed: Master seed; day ``d`` draws from the keyed substream
+                ``(seed, d)`` regardless of ``workers``.
+            workers: Process count for the day fan-out; ``1`` (default)
+                runs serially, ``0`` uses every core.  Results are
+                bit-identical across worker counts.
+        """
         if days < 1:
             raise ValueError(f"days must be >= 1, got {days}")
-        py_rng, np_rng = make_rngs(seed)
-        records: List[AllocatorDayRecord] = []
-        for day in range(days):
-            profiles = self.generator.sample_population(np_rng, n_households)
-            neighborhood = neighborhood_from_profiles(profiles, self.true_preference)
-            reports = {
-                hh.household_id: Report(hh.household_id, hh.true_preference)
-                for hh in neighborhood
-            }
-            problem = AllocationProblem.from_reports(
-                reports, neighborhood.households, self.pricing
-            )
-            for allocator in self.allocators:
-                result = allocator.solve(problem, random.Random(spawn_seed(py_rng)))
-                profile = LoadProfile.from_schedule(
-                    result.allocation, neighborhood.households
-                )
-                records.append(
-                    AllocatorDayRecord(
-                        day=day,
-                        n_households=n_households,
-                        allocator=allocator.name,
-                        par=profile.peak_to_average_ratio(),
-                        cost=result.cost,
-                        wall_time_s=result.wall_time_s,
-                        proven_optimal=result.proven_optimal,
-                        nodes_explored=result.nodes_explored,
-                    )
-                )
-        return records
+        root = root_entropy(seed)
+        tasks = [(self, root, day, n_households) for day in range(days)]
+        per_day = map_tasks(_run_study_day, tasks, workers)
+        return [record for day_records in per_day for record in day_records]
 
     def sweep(
         self,
         populations: Sequence[int],
         days: int,
         seed: Optional[int] = None,
+        workers: Optional[int] = 1,
     ) -> List[AllocatorDayRecord]:
         """Run the study across population sizes (the Figures 4-6 x-axis)."""
         rng = random.Random(seed)
         records: List[AllocatorDayRecord] = []
         for n_households in populations:
-            records.extend(self.run(n_households, days, spawn_seed(rng)))
+            records.extend(
+                self.run(n_households, days, spawn_seed(rng), workers=workers)
+            )
         return records
 
 
@@ -162,6 +201,45 @@ def follow_or_closest_policy(
     return closest_feasible_consumption(true.window, true.duration, allocation)
 
 
+def _run_simulation_day(
+    task: Tuple["NeighborhoodSimulation", Neighborhood, int, int],
+) -> DayOutcome:
+    """One full mechanism day: report, allocate, consume, settle.
+
+    Module-level so the parallel runtime can pickle it.  Custom policies
+    must themselves be picklable (module-level functions or instances) to
+    run with ``workers > 1``.
+    """
+    simulation, neighborhood, root, day = task
+    rng, _ = make_day_rngs(root, day)
+    reports: Dict[HouseholdId, Report] = {
+        hh.household_id: simulation.report_policy(day, hh, rng)
+        for hh in neighborhood
+    }
+    allocation_result = simulation.mechanism.allocate(
+        neighborhood, reports, random.Random(spawn_seed(rng))
+    )
+    consumption: ConsumptionMap = {
+        hh.household_id: simulation.consumption_policy(
+            day,
+            hh,
+            reports[hh.household_id],
+            allocation_result.allocation[hh.household_id],
+            rng,
+        )
+        for hh in neighborhood
+    }
+    settlement = simulation.mechanism.settle(
+        neighborhood, reports, allocation_result.allocation, consumption
+    )
+    return DayOutcome(
+        reports=reports,
+        allocation_result=allocation_result,
+        consumption=consumption,
+        settlement=settlement,
+    )
+
+
 class NeighborhoodSimulation:
     """Run the full Enki mechanism over multiple days with custom behaviour."""
 
@@ -180,39 +258,19 @@ class NeighborhoodSimulation:
         neighborhood: Neighborhood,
         days: int,
         seed: Optional[int] = None,
+        workers: Optional[int] = 1,
     ) -> List[DayOutcome]:
-        """Simulate ``days`` settled days for a fixed neighborhood."""
+        """Simulate ``days`` settled days for a fixed neighborhood.
+
+        Args:
+            neighborhood: The households (fixed across days).
+            days: Number of independent settled days.
+            seed: Master seed; day ``d`` draws from substream ``(seed, d)``.
+            workers: Process count for the day fan-out; ``1`` (default)
+                runs serially.  Parallel output is bit-identical to serial.
+        """
         if days < 1:
             raise ValueError(f"days must be >= 1, got {days}")
-        rng = random.Random(seed)
-        outcomes: List[DayOutcome] = []
-        for day in range(days):
-            reports: Dict[HouseholdId, Report] = {
-                hh.household_id: self.report_policy(day, hh, rng)
-                for hh in neighborhood
-            }
-            allocation_result = self.mechanism.allocate(
-                neighborhood, reports, random.Random(spawn_seed(rng))
-            )
-            consumption: ConsumptionMap = {
-                hh.household_id: self.consumption_policy(
-                    day,
-                    hh,
-                    reports[hh.household_id],
-                    allocation_result.allocation[hh.household_id],
-                    rng,
-                )
-                for hh in neighborhood
-            }
-            settlement = self.mechanism.settle(
-                neighborhood, reports, allocation_result.allocation, consumption
-            )
-            outcomes.append(
-                DayOutcome(
-                    reports=reports,
-                    allocation_result=allocation_result,
-                    consumption=consumption,
-                    settlement=settlement,
-                )
-            )
-        return outcomes
+        root = root_entropy(seed)
+        tasks = [(self, neighborhood, root, day) for day in range(days)]
+        return map_tasks(_run_simulation_day, tasks, workers)

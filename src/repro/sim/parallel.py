@@ -1,0 +1,82 @@
+"""Deterministic process-pool fan-out for embarrassingly parallel day loops.
+
+Every Section VI/VII driver is a loop over *independent* simulated days:
+each day samples a fresh population (or replays fixed households) from its
+own keyed RNG substream (:func:`repro.sim.rng.make_day_rngs`), so day
+instances share no state and can run on any worker in any order.  This
+module provides the one primitive they all use:
+
+:func:`map_tasks` — an order-preserving map over payloads that runs inline
+for ``workers=1`` (the default everywhere, leaving existing behaviour and
+seeds untouched) and fans out across a :class:`~concurrent.futures.
+ProcessPoolExecutor` for ``workers>1``.  Because results come back in
+submission order and each payload's computation is a pure function of the
+payload (RNG substreams included), parallel output is bit-identical to
+serial output — only wall-clock time changes.
+
+Worker functions must be module-level (picklable) and payloads must pickle;
+all engine day-workers in :mod:`repro.sim.engine` satisfy this.  Custom
+report/consumption policies that are lambdas or closures only work in
+serial mode.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+_P = TypeVar("_P")
+_R = TypeVar("_R")
+
+#: Sentinel meaning "use every core the machine has".
+ALL_CORES = 0
+
+
+def available_cores() -> int:
+    """Best-effort count of usable CPU cores (at least 1)."""
+    try:
+        return len(os.sched_getaffinity(0))  # respects cpusets/containers
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalize a ``workers`` knob to a concrete positive worker count.
+
+    ``None`` and ``1`` mean serial; ``0`` (:data:`ALL_CORES`) and any
+    negative value mean "all available cores"; anything else is taken
+    literally (it may exceed the core count — the OS will time-slice).
+    """
+    if workers is None:
+        return 1
+    if workers <= 0:
+        return available_cores()
+    return int(workers)
+
+
+def map_tasks(
+    fn: Callable[[_P], _R],
+    payloads: Sequence[_P],
+    workers: Optional[int] = 1,
+    chunksize: int = 1,
+) -> List[_R]:
+    """Order-preserving map of ``fn`` over ``payloads``, optionally parallel.
+
+    Args:
+        fn: A module-level (picklable) worker function.
+        payloads: Picklable task descriptions; one ``fn`` call each.
+        workers: Worker processes (see :func:`resolve_workers`); ``1`` runs
+            inline in this process with zero overhead.
+        chunksize: Payloads per worker dispatch for ``workers > 1``.
+
+    Returns:
+        ``[fn(p) for p in payloads]`` — same values, same order, regardless
+        of ``workers``.
+    """
+    n_workers = resolve_workers(workers)
+    if n_workers <= 1 or len(payloads) <= 1:
+        return [fn(payload) for payload in payloads]
+    n_workers = min(n_workers, len(payloads))
+    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        return list(pool.map(fn, payloads, chunksize=chunksize))

@@ -13,13 +13,13 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from ..core.intervals import Interval
 from ..core.mechanism import EnkiMechanism
-from ..core.types import HouseholdType, Neighborhood, Preference
+from ..core.types import HouseholdType, Neighborhood
 from ..sim.profiles import ProfileGenerator
 from ..sim.rng import spawn_seed
 from .bestresponse import Window, best_response_sweep

@@ -16,7 +16,7 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional
 
-from ..core.intervals import HOURS_PER_DAY, Interval
+from ..core.intervals import Interval
 from ..core.mechanism import EnkiMechanism, truthful_reports
 from ..core.types import HouseholdType, Neighborhood, Preference
 

@@ -11,9 +11,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from ..core.mechanism import EnkiMechanism
+from ..sim.parallel import map_tasks
 from ..sim.rng import spawn_seed
 from .game import GameSession, SessionResult, SubjectRoundLog
 from .subjects import SubjectModel, default_subject_pool
@@ -52,10 +53,21 @@ class StudyResult:
         return [s for s in self.subjects if s.understanding == understanding]
 
 
+def _play_session(
+    task: Tuple[GameSession, int, int, int],
+) -> SessionResult:
+    """Play one pre-seeded session (module-level for the parallel runtime)."""
+    session, treatment, session_index, session_seed = task
+    return session.play(
+        treatment=treatment, session_index=session_index, seed=session_seed
+    )
+
+
 def run_study(
     subject_pool: Optional[Sequence[SubjectModel]] = None,
     mechanism: Optional[EnkiMechanism] = None,
     seed: Optional[int] = None,
+    workers: Optional[int] = 1,
 ) -> StudyResult:
     """Run the full two-treatment study once.
 
@@ -65,6 +77,10 @@ def run_study(
             four), the last 4 to Treatment 2 (one per session).
         mechanism: Enki instance shared by all sessions.
         seed: Master seed for the whole study.
+        workers: Worker processes for the eight-session fan-out (``1`` =
+            serial).  Every session seed is drawn from the master stream
+            before any session plays, in the same order as a serial run,
+            so results are identical across worker counts.
 
     Returns:
         Per-subject records with per-round logs.
@@ -81,17 +97,35 @@ def run_study(
     order = list(range(20))
     rng.shuffle(order)
 
-    subjects: List[StudySubjectRecord] = []
+    # Build every session up front, drawing seeds in serial order; the
+    # plays themselves are independent once seeded, so they can fan out.
+    tasks: List[Tuple[GameSession, int, int, int]] = []
+    t1_indices: List[List[int]] = []
     cursor = 0
     for session_index in range(4):
         indices = order[cursor:cursor + T1_SUBJECTS_PER_SESSION]
         cursor += T1_SUBJECTS_PER_SESSION
-        models = [pool[i] for i in indices]
-        session = GameSession(models, n_agents=T1_AGENTS, mechanism=mechanism)
-        result = session.play(
-            treatment=1, session_index=session_index, seed=spawn_seed(rng)
+        t1_indices.append(indices)
+        session = GameSession(
+            [pool[i] for i in indices], n_agents=T1_AGENTS, mechanism=mechanism
         )
-        for local_index, pool_index in enumerate(indices):
+        tasks.append((session, 1, session_index, spawn_seed(rng)))
+    t2_indices: List[int] = []
+    for session_index in range(4):
+        pool_index = order[cursor]
+        cursor += 1
+        t2_indices.append(pool_index)
+        session = GameSession(
+            [pool[pool_index]], n_agents=T2_AGENTS, mechanism=mechanism
+        )
+        tasks.append((session, 2, session_index, spawn_seed(rng)))
+
+    results = map_tasks(_play_session, tasks, workers)
+
+    subjects: List[StudySubjectRecord] = []
+    for session_index in range(4):
+        result = results[session_index]
+        for local_index, pool_index in enumerate(t1_indices[session_index]):
             subjects.append(
                 StudySubjectRecord(
                     study_subject_id=pool_index,
@@ -101,16 +135,9 @@ def run_study(
                     logs=result.subject_logs(local_index),
                 )
             )
-
     for session_index in range(4):
-        pool_index = order[cursor]
-        cursor += 1
-        session = GameSession(
-            [pool[pool_index]], n_agents=T2_AGENTS, mechanism=mechanism
-        )
-        result = session.play(
-            treatment=2, session_index=session_index, seed=spawn_seed(rng)
-        )
+        result = results[4 + session_index]
+        pool_index = t2_indices[session_index]
         subjects.append(
             StudySubjectRecord(
                 study_subject_id=pool_index,

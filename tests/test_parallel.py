@@ -1,0 +1,159 @@
+"""Determinism regressions for the parallel simulation runtime.
+
+Three guarantees are pinned here:
+
+* seeded runs are reproducible — the same seed twice yields identical
+  records;
+* parallel runs (``workers=4``) are record-for-record identical to serial
+  runs (``workers=1``) at the same seed, for both engines.  Instances are
+  sized so branch-and-bound always proves optimality within its budget —
+  a *deadline-cut* anytime search is wall-clock dependent by design and
+  belongs in the benchmarks, not here;
+* the worker-resolution helpers behave as documented.
+
+Wall times are excluded from every comparison: they legitimately vary
+between runs and carry no scheduling information.
+"""
+
+import numpy as np
+import pytest
+
+from repro.allocation.greedy import GreedyFlexibilityAllocator
+from repro.allocation.optimal import BranchAndBoundAllocator
+from repro.core.mechanism import EnkiMechanism
+from repro.sim.engine import NeighborhoodSimulation, SocialWelfareStudy
+from repro.sim.parallel import available_cores, map_tasks, resolve_workers
+from repro.sim.profiles import ProfileGenerator, neighborhood_from_profiles
+from repro.sim.rng import make_day_rngs
+
+SEED = 2017
+
+
+def _study():
+    return SocialWelfareStudy(
+        allocators=[
+            GreedyFlexibilityAllocator(),
+            # Small enough (n=8) that the search always completes, so the
+            # result is a pure function of (seed, day) — no anytime cutoff.
+            BranchAndBoundAllocator(time_limit_s=60.0),
+        ]
+    )
+
+
+def _study_key(records):
+    return [
+        (r.day, r.n_households, r.allocator, r.par, r.cost, r.proven_optimal,
+         r.nodes_explored)
+        for r in records
+    ]
+
+
+def _neighborhood(n=10, seed=3):
+    generator = ProfileGenerator()
+    profiles = generator.sample_population(np.random.default_rng(seed), n)
+    return neighborhood_from_profiles(profiles, "wide")
+
+
+def _outcome_key(outcomes):
+    """Everything a DayOutcome decides, minus wall-clock time."""
+    return [
+        (
+            sorted((hid, rep.preference) for hid, rep in o.reports.items()),
+            sorted(o.allocation.items()),
+            sorted(o.consumption.items()),
+            o.settlement.total_cost,
+            sorted(o.settlement.payments.items()),
+            sorted(o.settlement.utilities.items()),
+            o.settlement.neighborhood_utility,
+            o.settlement.load_profile.as_array().tolist(),
+        )
+        for o in outcomes
+    ]
+
+
+class TestSameSeedReproducibility:
+    def test_study_same_seed_twice_is_identical(self):
+        study = _study()
+        first = study.run(8, days=3, seed=SEED)
+        second = study.run(8, days=3, seed=SEED)
+        assert _study_key(first) == _study_key(second)
+        assert all(r.proven_optimal for r in first if r.allocator != "enki-greedy")
+
+    def test_simulation_same_seed_twice_is_identical(self):
+        simulation = NeighborhoodSimulation(EnkiMechanism(seed=0))
+        neighborhood = _neighborhood()
+        first = simulation.run(neighborhood, days=3, seed=SEED)
+        second = simulation.run(neighborhood, days=3, seed=SEED)
+        assert _outcome_key(first) == _outcome_key(second)
+
+    def test_different_seeds_differ(self):
+        study = _study()
+        assert _study_key(study.run(8, days=2, seed=1)) != _study_key(
+            study.run(8, days=2, seed=2)
+        )
+
+
+class TestParallelBitIdentity:
+    def test_study_parallel_matches_serial(self):
+        study = _study()
+        serial = study.run(8, days=4, seed=SEED, workers=1)
+        parallel = study.run(8, days=4, seed=SEED, workers=4)
+        assert _study_key(serial) == _study_key(parallel)
+
+    def test_study_sweep_parallel_matches_serial(self):
+        study = SocialWelfareStudy(allocators=[GreedyFlexibilityAllocator()])
+        serial = study.sweep((6, 10), days=2, seed=SEED, workers=1)
+        parallel = study.sweep((6, 10), days=2, seed=SEED, workers=4)
+        assert _study_key(serial) == _study_key(parallel)
+
+    def test_simulation_parallel_matches_serial(self):
+        simulation = NeighborhoodSimulation(EnkiMechanism(seed=0))
+        neighborhood = _neighborhood()
+        serial = simulation.run(neighborhood, days=4, seed=SEED, workers=1)
+        parallel = simulation.run(neighborhood, days=4, seed=SEED, workers=4)
+        assert _outcome_key(serial) == _outcome_key(parallel)
+
+    def test_all_cores_sentinel_matches_serial(self):
+        study = SocialWelfareStudy(allocators=[GreedyFlexibilityAllocator()])
+        serial = study.run(8, days=3, seed=SEED, workers=1)
+        all_cores = study.run(8, days=3, seed=SEED, workers=0)
+        assert _study_key(serial) == _study_key(all_cores)
+
+
+class TestDaySubstreams:
+    def test_day_rngs_are_pure_functions_of_seed_and_day(self):
+        rng_a, np_a = make_day_rngs(SEED, 5)
+        rng_b, np_b = make_day_rngs(SEED, 5)
+        assert rng_a.random() == rng_b.random()
+        assert np_a.random() == np_b.random()
+
+    def test_day_rngs_differ_across_days(self):
+        rng_a, np_a = make_day_rngs(SEED, 0)
+        rng_b, np_b = make_day_rngs(SEED, 1)
+        assert rng_a.random() != rng_b.random()
+        assert np_a.random() != np_b.random()
+
+
+def _double(x):
+    return 2 * x
+
+
+class TestWorkerPlumbing:
+    def test_resolve_workers(self):
+        assert resolve_workers(None) == 1
+        assert resolve_workers(1) == 1
+        assert resolve_workers(3) == 3
+        assert resolve_workers(0) == available_cores()
+        assert resolve_workers(-1) == available_cores()
+
+    def test_map_tasks_preserves_order(self):
+        payloads = list(range(12))
+        assert map_tasks(_double, payloads, workers=1) == [2 * x for x in payloads]
+        assert map_tasks(_double, payloads, workers=3) == [2 * x for x in payloads]
+
+    def test_map_tasks_empty(self):
+        assert map_tasks(_double, [], workers=4) == []
+
+    def test_engine_rejects_zero_days(self):
+        with pytest.raises(ValueError):
+            _study().run(8, days=0, seed=SEED)
