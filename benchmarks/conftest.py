@@ -45,12 +45,14 @@ def bench_json():
     Usage: ``bench_json("greedy_solve_n50", seconds=0.0004, n_households=50)``.
     Entries recorded during the session are merged over any existing file
     (so partial benchmark runs refresh only what they measured) together
-    with machine metadata.
+    with machine metadata.  Pass ``section="robustness"`` to file an entry
+    under a different top-level section than ``"benchmarks"`` (used for
+    the quarantine/fallback overhead trajectory).
     """
     entries = {}
 
-    def _record(name: str, **fields) -> None:
-        entries[name] = fields
+    def _record(name: str, section: str = "benchmarks", **fields) -> None:
+        entries.setdefault(section, {})[name] = fields
 
     yield _record
 
@@ -62,7 +64,8 @@ def bench_json():
             payload = json.loads(BENCH_JSON_PATH.read_text())
         except (ValueError, OSError):
             pass
-    payload.setdefault("benchmarks", {}).update(entries)
+    for section, section_entries in entries.items():
+        payload.setdefault(section, {}).update(section_entries)
     payload["meta"] = {
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": platform.python_version(),

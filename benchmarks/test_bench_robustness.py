@@ -1,0 +1,148 @@
+"""Benchmarks for the robustness stack's overhead and degradation latency.
+
+Two costs matter for running the fault-tolerant pipeline by default:
+
+* **Quarantine overhead** — screening every report in front of the
+  mechanism must be cheap enough to leave on unconditionally.  Measured
+  as the relative slowdown of a full settled day (allocate → consume →
+  settle) at n=200 with a ``clamp`` quarantine versus none; the
+  acceptance bar is < 5%.
+* **Fallback-trigger latency** — when the primary solver dies, the time
+  between its failure and the next tier serving an allocation.
+
+Both are recorded to the ``robustness`` section of ``BENCH_core.json``
+for the perf trajectory.
+"""
+
+import random
+import time
+
+import numpy as np
+
+from repro.allocation.base import Allocator
+from repro.allocation.greedy import GreedyFlexibilityAllocator
+from repro.core.mechanism import EnkiMechanism, truthful_reports
+from repro.robustness import FallbackAllocator, Quarantine
+from repro.sim.profiles import ProfileGenerator, neighborhood_from_profiles
+
+from conftest import day_problem, time_call
+
+#: The settlement scale the <5% overhead claim is made at.
+N_HOUSEHOLDS = 200
+
+
+def _neighborhood(n=N_HOUSEHOLDS, seed=3):
+    profiles = ProfileGenerator().sample_population(np.random.default_rng(seed), n)
+    return neighborhood_from_profiles(profiles, "wide")
+
+
+class _ExplodingAllocator(Allocator):
+    """A primary tier that fails instantly (isolates trigger latency)."""
+
+    name = "exploding"
+
+    def solve(self, problem, rng=None):
+        raise RuntimeError("injected failure")
+
+
+def test_bench_quarantine_screen(benchmark):
+    """Raw screen cost over n=200 clean reports (the fast path)."""
+    neighborhood = _neighborhood()
+    reports = truthful_reports(neighborhood)
+    quarantine = Quarantine("clamp")
+    result = benchmark(lambda: quarantine.screen(neighborhood, reports))
+    assert len(result.accepted) == N_HOUSEHOLDS
+    assert result.n_quarantined == 0
+
+
+def test_bench_quarantine_overhead_per_settlement(bench_json):
+    """Screening adds < 5% to a full settled day at n=200 (the ISSUE bar)."""
+    neighborhood = _neighborhood()
+    reports = truthful_reports(neighborhood)
+    plain = EnkiMechanism(seed=0)
+    quarantined = EnkiMechanism(seed=0, quarantine=Quarantine("clamp"))
+
+    # Interleave the two pipelines and compare medians: run-to-run machine
+    # noise (~10% on a 3 ms workload) hits both sides alike, and medians
+    # shrug off the occasional descheduled round that a mean (or a single
+    # unlucky min) would inherit.
+    import gc
+    import statistics
+
+    plain_times, quarantined_times = [], []
+    plain.run_day(neighborhood, reports)
+    quarantined.run_day(neighborhood, reports)
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(50):
+            started = time.perf_counter()
+            plain.run_day(neighborhood, reports)
+            plain_times.append(time.perf_counter() - started)
+            started = time.perf_counter()
+            quarantined.run_day(neighborhood, reports)
+            quarantined_times.append(time.perf_counter() - started)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    t_plain = statistics.median(plain_times)
+    t_quarantined = statistics.median(quarantined_times)
+    overhead = (t_quarantined - t_plain) / t_plain
+    t_screen = time_call(
+        lambda: Quarantine("clamp").screen(neighborhood, reports), repeats=10
+    )
+
+    bench_json(
+        "quarantine_overhead_n200",
+        section="robustness",
+        settled_day_s=t_plain,
+        settled_day_quarantined_s=t_quarantined,
+        screen_s=t_screen,
+        overhead_fraction=overhead,
+        n_households=N_HOUSEHOLDS,
+    )
+    assert overhead < 0.05, (
+        f"quarantine overhead {overhead:.1%} exceeds the 5% budget "
+        f"({t_plain * 1e3:.2f} ms -> {t_quarantined * 1e3:.2f} ms)"
+    )
+
+
+def test_bench_fallback_trigger_latency(bench_json):
+    """Time from primary-tier failure to the greedy tier serving a day."""
+    problem = day_problem(50)
+    chain = FallbackAllocator(
+        [_ExplodingAllocator(), GreedyFlexibilityAllocator()]
+    )
+    greedy_alone = GreedyFlexibilityAllocator()
+
+    t_chain = time_call(lambda: chain.solve(problem, random.Random(0)), repeats=10)
+    t_greedy = time_call(
+        lambda: greedy_alone.solve(problem, random.Random(0)), repeats=10
+    )
+    # The trigger cost is what the chain adds on top of the serving tier.
+    trigger_s = max(t_chain - t_greedy, 0.0)
+
+    result = chain.solve(problem, random.Random(0))
+    assert result.served_tier == 1
+
+    bench_json(
+        "fallback_trigger_latency_n50",
+        section="robustness",
+        chain_solve_s=t_chain,
+        serving_tier_solve_s=t_greedy,
+        trigger_latency_s=trigger_s,
+        n_households=50,
+    )
+    # Degrading tiers must be effectively free next to any real solve.
+    assert trigger_s < 0.01
+
+
+def test_bench_checkpoint_append(benchmark, tmp_path):
+    """Per-day checkpoint persistence cost (one fsync'd JSONL line)."""
+    from repro.robustness import CheckpointStore
+
+    store = CheckpointStore(str(tmp_path / "bench.ck.jsonl"))
+    payload = {"records": [{"day": 0, "cost": 1.0}] * 2}
+    counter = iter(range(10**9))
+
+    benchmark(lambda: store.append(f"day-{next(counter)}", payload))

@@ -123,7 +123,13 @@ class AllocationProblem:
 
 @dataclass
 class AllocationResult:
-    """An allocator's answer plus solve diagnostics."""
+    """An allocator's answer plus solve diagnostics.
+
+    ``served_tier``/``fallback_trail`` are filled in by
+    :class:`repro.robustness.fallback.FallbackAllocator`: the tier index
+    that produced this allocation (0 = primary solver) and the record of
+    every tier attempt that led to it.
+    """
 
     allocation: AllocationMap
     cost: float
@@ -132,6 +138,8 @@ class AllocationResult:
     nodes_explored: int = 0
     lower_bound: Optional[float] = None
     allocator_name: str = ""
+    served_tier: int = 0
+    fallback_trail: Tuple = ()
 
 
 class Allocator(abc.ABC):

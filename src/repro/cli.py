@@ -15,12 +15,23 @@ import sys
 from typing import List, Optional
 
 from .experiments.runner import EXPERIMENTS, run_experiment
+from .robustness.errors import ReproError
 
 #: Experiments that accept the social-welfare sweep options.
 _SWEEP_EXPERIMENTS = {"fig4", "fig5", "fig6"}
 
 #: Experiments driven by the user-study seed only.
 _STUDY_EXPERIMENTS = {"tab2", "tab3", "tab4", "fig8", "fig9"}
+
+
+def _workers_arg(value: str) -> int:
+    """Argparse type for ``--workers``: reject nonsense below ``-1`` early."""
+    workers = int(value)
+    if workers < -1:
+        raise argparse.ArgumentTypeError(
+            f"workers must be >= -1 (0 or -1 = all cores), got {workers}"
+        )
+    return workers
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -44,12 +55,41 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=None, help="master seed override")
     parser.add_argument(
         "--workers",
-        type=int,
+        type=_workers_arg,
         default=None,
         help=(
             "worker processes for the day/session fan-out (1 = serial, "
             "0 = all cores); results are identical for any value"
         ),
+    )
+    parser.add_argument(
+        "--checkpoint",
+        type=str,
+        default=None,
+        help=(
+            "JSONL checkpoint file: each simulated day is persisted as it "
+            "completes (fig4/fig5/fig6/simulate)"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "with --checkpoint, replay the days already in the store "
+            "instead of recomputing them; without it an existing store "
+            "is discarded"
+        ),
+    )
+    parser.add_argument(
+        "--quarantine",
+        choices=("reject", "clamp", "exclude"),
+        default=None,
+        help="screen reports through a quarantine policy (simulate)",
+    )
+    parser.add_argument(
+        "--debug",
+        action="store_true",
+        help="print full tracebacks instead of one-line error summaries",
     )
     parser.add_argument(
         "--days", type=int, default=None, help="simulated days per setting"
@@ -101,6 +141,9 @@ def _overrides_for(experiment_id: str, args: argparse.Namespace) -> dict:
             )
         if args.time_limit is not None:
             overrides["optimal_time_limit_s"] = args.time_limit
+        if args.checkpoint is not None:
+            overrides["checkpoint_path"] = args.checkpoint
+            overrides["resume"] = args.resume
     if experiment_id == "fig7" and args.repeats is not None:
         overrides["repeats"] = args.repeats
     if experiment_id in {"abl-order", "abl-pricing"} and args.days is not None:
@@ -114,6 +157,8 @@ def _simulate(args: argparse.Namespace) -> int:
 
     from .core.mechanism import EnkiMechanism
     from .io.audit import AuditLog
+    from .robustness.checkpoint import CheckpointStore
+    from .robustness.quarantine import Quarantine
     from .sim.engine import NeighborhoodSimulation
     from .sim.profiles import ProfileGenerator, neighborhood_from_profiles
     from .sim.results import format_table
@@ -123,12 +168,21 @@ def _simulate(args: argparse.Namespace) -> int:
     generator = ProfileGenerator()
     profiles = generator.sample_population(np.random.default_rng(seed), args.n)
     neighborhood = neighborhood_from_profiles(profiles, "wide")
-    simulation = NeighborhoodSimulation(EnkiMechanism(seed=seed))
+    quarantine = Quarantine(args.quarantine) if args.quarantine else None
+    checkpoint = (
+        CheckpointStore(args.checkpoint, fresh=not args.resume)
+        if args.checkpoint
+        else None
+    )
+    simulation = NeighborhoodSimulation(
+        EnkiMechanism(seed=seed, quarantine=quarantine)
+    )
     outcomes = simulation.run(
         neighborhood,
         days=days,
         seed=seed,
         workers=args.workers if args.workers is not None else 1,
+        checkpoint=checkpoint,
     )
 
     audit = AuditLog(args.audit) if args.audit else None
@@ -162,8 +216,27 @@ def _simulate(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Robustness failures (:class:`~repro.robustness.errors.ReproError`)
+    exit with their class's distinct code and a one-line message;
+    ``--debug`` surfaces the full traceback instead.
+    """
     args = _build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        if args.debug:
+            raise
+        print(f"error ({type(exc).__name__}): {exc}", file=sys.stderr)
+        return exc.exit_code
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    """Route a parsed command line to its experiment or subcommand."""
+    if args.resume and not args.checkpoint:
+        print("--resume requires --checkpoint", file=sys.stderr)
+        return 2
 
     if args.experiment == "list":
         for experiment_id in EXPERIMENTS:

@@ -12,7 +12,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional
+from typing import TYPE_CHECKING, Dict, Mapping, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..robustness.quarantine import Quarantine
 
 import numpy as np
 
@@ -71,9 +74,15 @@ def default_consumption(
     neighborhood: Neighborhood,
     allocation: AllocationMap,
 ) -> ConsumptionMap:
-    """Closest-feasible consumption for every household."""
+    """Closest-feasible consumption for every *allocated* household.
+
+    Households absent from the allocation (quarantined under the
+    ``exclude`` policy) consume nothing through the mechanism that day.
+    """
     consumption: ConsumptionMap = {}
     for hh in neighborhood:
+        if hh.household_id not in allocation:
+            continue
         true = hh.true_preference
         consumption[hh.household_id] = closest_feasible_consumption(
             true.window, true.duration, allocation[hh.household_id]
@@ -99,12 +108,19 @@ class Settlement:
 
 @dataclass
 class DayOutcome:
-    """A full day under Enki: inputs, allocation and settlement."""
+    """A full day under Enki: inputs, allocation and settlement.
+
+    ``quarantine_decisions`` records every report the quarantine repaired
+    or dropped (empty when no quarantine is configured or the day was
+    clean); ``reports`` holds the post-screening reports the mechanism
+    actually scheduled.
+    """
 
     reports: Dict[HouseholdId, Report]
     allocation_result: AllocationResult
     consumption: ConsumptionMap
     settlement: Settlement
+    quarantine_decisions: Tuple = ()
 
     @property
     def allocation(self) -> AllocationMap:
@@ -124,6 +140,10 @@ class EnkiMechanism:
         k: Social-cost scaling factor (Eq. 6).
         xi: Payment scaling factor (Eq. 7); ``xi >= 1`` gives Theorem 1.
         seed: Seed for allocation tie-breaking when no rng is provided.
+        quarantine: Optional report screen applied in front of every
+            allocation (:class:`repro.robustness.quarantine.Quarantine`).
+            Without one, reports are trusted as typed values — the
+            pre-robustness behaviour.
     """
 
     def __init__(
@@ -133,6 +153,7 @@ class EnkiMechanism:
         k: float = DEFAULT_K,
         xi: float = DEFAULT_XI,
         seed: Optional[int] = None,
+        quarantine: Optional["Quarantine"] = None,
     ) -> None:
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
@@ -143,15 +164,45 @@ class EnkiMechanism:
         self.k = k
         self.xi = xi
         self._seed = seed
+        self.quarantine = quarantine
+
+    def screen_reports(
+        self,
+        neighborhood: Neighborhood,
+        reports: Mapping[HouseholdId, Report],
+    ):
+        """Run the configured quarantine over ``reports``.
+
+        Returns the :class:`~repro.robustness.quarantine.QuarantineResult`,
+        or ``None`` when no quarantine is configured.  The screen is
+        idempotent, so callers may screen explicitly (to capture the
+        decisions) and still pass the accepted reports to
+        :meth:`allocate`, which screens again as a no-op.
+        """
+        if self.quarantine is None:
+            return None
+        return self.quarantine.screen(neighborhood, reports)
 
     def allocate(
         self,
         neighborhood: Neighborhood,
         reports: Mapping[HouseholdId, Report],
         rng: Optional[random.Random] = None,
+        pre_screened: bool = False,
     ) -> AllocationResult:
-        """Solve the day's allocation problem for the given reports."""
+        """Solve the day's allocation problem for the given reports.
+
+        With a quarantine configured, reports pass through it first — so
+        malformed submissions (raw wire values included) are rejected,
+        repaired, or dropped per policy instead of raising out of the
+        solve.  Callers that already screened (to capture the decisions)
+        pass ``pre_screened=True`` to skip the redundant second pass.
+        """
         rng = rng if rng is not None else random.Random(self._seed)
+        if not pre_screened:
+            screened = self.screen_reports(neighborhood, reports)
+            if screened is not None:
+                reports = screened.accepted
         problem = AllocationProblem.from_reports(reports, neighborhood.households, self.pricing)
         result = self.allocator.solve(problem, rng)
         validate_allocation(dict(reports), result.allocation)
@@ -176,7 +227,11 @@ class EnkiMechanism:
         validate_consumption(neighborhood.households, consumption)
 
         types = neighborhood.households
-        ids = list(types)
+        # Settle the allocated households only: under the quarantine's
+        # `exclude` policy a dropped household has no s_i and no omega_i,
+        # and Theorem 1 holds over any subset because Eq. 7 splits the
+        # realized cost of exactly the households being billed.
+        ids = [h for h in types if h in allocation]
         n = len(ids)
         alloc_starts = np.fromiter((allocation[h].start for h in ids), np.intp, count=n)
         alloc_ends = np.fromiter((allocation[h].end for h in ids), np.intp, count=n)
@@ -265,7 +320,12 @@ class EnkiMechanism:
             rng: Randomness for allocation tie-breaking.
         """
         reports = dict(reports) if reports is not None else truthful_reports(neighborhood)
-        allocation_result = self.allocate(neighborhood, reports, rng)
+        decisions: Tuple = ()
+        screened = self.screen_reports(neighborhood, reports)
+        if screened is not None:
+            reports = screened.accepted
+            decisions = tuple(screened.decisions)
+        allocation_result = self.allocate(neighborhood, reports, rng, pre_screened=True)
         if consumption is None:
             consumption = default_consumption(neighborhood, allocation_result.allocation)
         settlement = self.settle(
@@ -276,4 +336,5 @@ class EnkiMechanism:
             allocation_result=allocation_result,
             consumption=dict(consumption),
             settlement=settlement,
+            quarantine_decisions=decisions,
         )

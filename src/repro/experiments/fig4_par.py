@@ -82,10 +82,18 @@ def run(
     seed: Optional[int] = 2017,
     optimal_time_limit_s: float = 60.0,
     workers: Optional[int] = 1,
+    checkpoint_path: Optional[str] = None,
+    resume: bool = False,
 ) -> Fig4Result:
     """Regenerate Figure 4 from scratch."""
     return extract(
         run_social_welfare_study(
-            populations, days, seed, optimal_time_limit_s, workers=workers
+            populations,
+            days,
+            seed,
+            optimal_time_limit_s,
+            workers=workers,
+            checkpoint_path=checkpoint_path,
+            resume=resume,
         )
     )

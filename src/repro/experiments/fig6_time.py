@@ -83,6 +83,8 @@ def run(
     seed: Optional[int] = 2017,
     optimal_time_limit_s: float = 60.0,
     workers: Optional[int] = 1,
+    checkpoint_path: Optional[str] = None,
+    resume: bool = False,
 ) -> Fig6Result:
     """Regenerate Figure 6 from scratch.
 
@@ -92,6 +94,12 @@ def run(
     """
     return extract(
         run_social_welfare_study(
-            populations, days, seed, optimal_time_limit_s, workers=workers
+            populations,
+            days,
+            seed,
+            optimal_time_limit_s,
+            workers=workers,
+            checkpoint_path=checkpoint_path,
+            resume=resume,
         )
     )

@@ -13,6 +13,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..allocation.greedy import GreedyFlexibilityAllocator
 from ..allocation.optimal import BranchAndBoundAllocator
+from ..robustness.checkpoint import CheckpointStore
 from ..sim.engine import AllocatorDayRecord, SocialWelfareStudy
 from ..sim.metrics import SeriesPoint, summarize_records
 
@@ -47,6 +48,8 @@ def run_social_welfare_study(
     seed: Optional[int] = 2017,
     optimal_time_limit_s: float = 60.0,
     workers: Optional[int] = 1,
+    checkpoint_path: Optional[str] = None,
+    resume: bool = False,
 ) -> SocialWelfareResult:
     """Run the Figures 4-6 study once.
 
@@ -59,14 +62,27 @@ def run_social_welfare_study(
             optimality within the budget.
         workers: Worker processes for the day fan-out (``1`` = serial,
             ``0`` = all cores); results are bit-identical across counts.
+        checkpoint_path: When set, persist each simulated day to this
+            JSONL store as it completes.
+        resume: With ``checkpoint_path``, replay the days the store
+            already holds instead of recomputing them (a killed sweep
+            picks up where it stopped, with identical final results);
+            without it, any existing store is discarded first.
     """
+    checkpoint = (
+        CheckpointStore(checkpoint_path, fresh=not resume)
+        if checkpoint_path is not None
+        else None
+    )
     study = SocialWelfareStudy(
         allocators=[
             GreedyFlexibilityAllocator(),
             BranchAndBoundAllocator(time_limit_s=optimal_time_limit_s),
         ]
     )
-    records = study.sweep(populations, days, seed, workers=workers)
+    records = study.sweep(
+        populations, days, seed, workers=workers, checkpoint=checkpoint
+    )
     return SocialWelfareResult(
         records=records,
         points=summarize_records(records),

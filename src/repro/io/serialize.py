@@ -10,6 +10,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, Mapping
 
+from ..allocation.base import AllocationResult
 from ..core.intervals import Interval
 from ..core.mechanism import DayOutcome, Settlement
 from ..core.types import (
@@ -18,6 +19,9 @@ from ..core.types import (
     Preference,
     Report,
 )
+from ..pricing.load_profile import LoadProfile
+from ..robustness.fallback import TierRecord
+from ..robustness.quarantine import QuarantineDecision
 
 #: Format version embedded in every serialized document.
 SCHEMA_VERSION = 1
@@ -128,13 +132,29 @@ def settlement_to_dict(settlement: Settlement) -> Dict[str, Any]:
     }
 
 
-def day_outcome_to_dict(outcome: DayOutcome) -> Dict[str, Any]:
-    """Serialize a settled day (one-way: enough to archive and audit).
+def settlement_from_dict(document: Mapping[str, Any]) -> Settlement:
+    """Rebuild a :class:`Settlement` from its serialized form."""
+    return Settlement(
+        total_cost=float(_require(document, "total_cost")),
+        flexibility=dict(_require(document, "flexibility")),
+        defection=dict(_require(document, "defection")),
+        social_cost=dict(_require(document, "social_cost")),
+        payments=dict(_require(document, "payments")),
+        valuations=dict(_require(document, "valuations")),
+        utilities=dict(_require(document, "utilities")),
+        overlap_fractions=dict(_require(document, "overlap_fractions")),
+        neighborhood_utility=float(_require(document, "neighborhood_utility")),
+        load_profile=LoadProfile(_require(document, "load_profile")),
+    )
 
-    The allocation result's solver diagnostics are preserved; reloading a
-    full ``DayOutcome`` object is intentionally not offered — archived
-    days are data, not live mechanism state.
+
+def day_outcome_to_dict(outcome: DayOutcome) -> Dict[str, Any]:
+    """Serialize a settled day: inputs, allocation, settlement, robustness.
+
+    Round-trips through :func:`day_outcome_from_dict` — the checkpoint
+    store relies on this to replay completed days on ``--resume``.
     """
+    result = outcome.allocation_result
     return {
         "schema_version": SCHEMA_VERSION,
         "reports": {
@@ -149,14 +169,77 @@ def day_outcome_to_dict(outcome: DayOutcome) -> Dict[str, Any]:
             for hid, interval in outcome.consumption.items()
         },
         "allocator": {
-            "name": outcome.allocation_result.allocator_name,
-            "cost": outcome.allocation_result.cost,
-            "wall_time_s": outcome.allocation_result.wall_time_s,
-            "proven_optimal": outcome.allocation_result.proven_optimal,
-            "nodes_explored": outcome.allocation_result.nodes_explored,
+            "name": result.allocator_name,
+            "cost": result.cost,
+            "wall_time_s": result.wall_time_s,
+            "proven_optimal": result.proven_optimal,
+            "nodes_explored": result.nodes_explored,
+            "lower_bound": result.lower_bound,
+            "served_tier": result.served_tier,
+            "fallback_trail": [
+                record.as_payload() for record in result.fallback_trail
+            ],
         },
         "settlement": settlement_to_dict(outcome.settlement),
+        "quarantine_decisions": [
+            decision.as_payload() for decision in outcome.quarantine_decisions
+        ],
     }
+
+
+def day_outcome_from_dict(document: Mapping[str, Any]) -> DayOutcome:
+    """Rebuild a settled day from :func:`day_outcome_to_dict` output."""
+    version = document.get("schema_version", SCHEMA_VERSION)
+    if version != SCHEMA_VERSION:
+        raise SerializationError(f"unsupported schema version {version}")
+    allocator = _require(document, "allocator")
+    allocation = {
+        hid: interval_from_dict(item)
+        for hid, item in _require(document, "allocation").items()
+    }
+    lower_bound = allocator.get("lower_bound")
+    result = AllocationResult(
+        allocation=allocation,
+        cost=float(_require(allocator, "cost")),
+        wall_time_s=float(_require(allocator, "wall_time_s")),
+        proven_optimal=bool(allocator.get("proven_optimal", False)),
+        nodes_explored=int(allocator.get("nodes_explored", 0)),
+        lower_bound=None if lower_bound is None else float(lower_bound),
+        allocator_name=str(allocator.get("name", "")),
+        served_tier=int(allocator.get("served_tier", 0)),
+        fallback_trail=tuple(
+            TierRecord(
+                tier=int(item["tier"]),
+                allocator=str(item["allocator"]),
+                status=str(item["status"]),
+                wall_time_s=float(item["wall_time_s"]),
+                detail=str(item.get("detail", "")),
+            )
+            for item in allocator.get("fallback_trail", [])
+        ),
+    )
+    return DayOutcome(
+        reports={
+            hid: report_from_dict(item)
+            for hid, item in _require(document, "reports").items()
+        },
+        allocation_result=result,
+        consumption={
+            hid: interval_from_dict(item)
+            for hid, item in _require(document, "consumption").items()
+        },
+        settlement=settlement_from_dict(_require(document, "settlement")),
+        quarantine_decisions=tuple(
+            QuarantineDecision(
+                household_id=item["household_id"],
+                action=str(item["action"]),
+                reason=item.get("reason"),
+                original=item.get("original"),
+                repaired=item.get("repaired"),
+            )
+            for item in document.get("quarantine_decisions", [])
+        ),
+    )
 
 
 # ----------------------------------------------------------------- file layer

@@ -1,0 +1,59 @@
+"""Fault tolerance for the mechanism pipeline.
+
+Four layers, one per failure domain:
+
+* :mod:`~repro.robustness.errors` — the :class:`ReproError` taxonomy with
+  per-class CLI exit codes.
+* :mod:`~repro.robustness.quarantine` — report validation/sanitization in
+  front of the mechanism (``reject`` / ``clamp`` / ``exclude`` policies).
+* :mod:`~repro.robustness.fallback` — allocator fallback chains with
+  per-tier budgets and post-solve feasibility checks.
+* :mod:`~repro.robustness.checkpoint` — crash-safe day-level JSONL
+  checkpoints powering ``--resume``.
+* :mod:`~repro.robustness.chaos` — seed-keyed fault injection so every
+  degradation path above is exercised deterministically by tests.
+"""
+
+from .chaos import ChaosInjector, ChaosPlan, plan_faults
+from .checkpoint import CheckpointStore, day_key
+from .errors import (
+    CheckpointError,
+    InfeasibleAllocationError,
+    InvalidReportError,
+    ReproError,
+    SolverBudgetError,
+    WorkerFailure,
+    exit_code_for,
+)
+from .fallback import FallbackAllocator, TierRecord
+from .quarantine import (
+    Quarantine,
+    QuarantineDecision,
+    QuarantineResult,
+    RawReport,
+    clamp_raw_report,
+    validate_raw_report,
+)
+
+__all__ = [
+    "ChaosInjector",
+    "ChaosPlan",
+    "CheckpointError",
+    "CheckpointStore",
+    "FallbackAllocator",
+    "InfeasibleAllocationError",
+    "InvalidReportError",
+    "Quarantine",
+    "QuarantineDecision",
+    "QuarantineResult",
+    "RawReport",
+    "ReproError",
+    "SolverBudgetError",
+    "TierRecord",
+    "WorkerFailure",
+    "clamp_raw_report",
+    "day_key",
+    "exit_code_for",
+    "plan_faults",
+    "validate_raw_report",
+]

@@ -1,0 +1,187 @@
+"""Deterministic chaos harness: seed-keyed fault injection for the stack.
+
+Every degradation path in the pipeline — quarantined reports, fallback
+tiers, worker retries, ``BrokenProcessPool`` recovery — should be
+exercised by tests, not discovered in production.  This module injects
+faults that are *pure functions of the master seed*: the set of faulty
+days, the victims and the corruption shapes all derive from keyed RNG
+substreams (:func:`repro.sim.rng.day_seed_sequence` style), so a chaos run
+is exactly as reproducible as a clean run.
+
+Crash faults are **transient** by construction: before dying, the injector
+atomically creates a "fuse" marker file for the day, and a fired fuse
+never crashes again.  A retried payload therefore completes cleanly — and
+because each day is a pure function of ``(seed, day)``, its result is
+bit-identical to what an uninjected run computes.  Malformed-report faults
+are *persistent* (the corruption is part of the day's input), which is the
+point: they must flow through the quarantine layer, not a retry.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Mapping
+
+import numpy as np
+
+from ..core.types import HouseholdId, Report
+from .errors import WorkerFailure
+from .quarantine import AnyReport, RawReport
+
+#: Distinct spawn-key tags so each fault type draws an independent stream.
+_CRASH_KEY = 0xC4A5
+_SLOW_KEY = 0x510E
+_MALFORMED_KEY = 0xBAD1
+
+#: The corruption shapes ``corrupt_reports`` rotates through.
+CORRUPTIONS = ("inverted-window", "nan-bound", "stretched-duration", "out-of-grid")
+
+
+def _fault_rng(root: int, day: int, tag: int) -> np.random.Generator:
+    """An independent generator keyed by (root, day, fault tag)."""
+    return np.random.default_rng(np.random.SeedSequence(root, spawn_key=(tag, day)))
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """Which days fail, and how — a pure function of (root, rates).
+
+    Built by :func:`plan_faults`; picklable, so it travels into workers.
+    """
+
+    root: int
+    crash_days: FrozenSet[int] = frozenset()
+    slow_days: FrozenSet[int] = frozenset()
+    malformed_days: FrozenSet[int] = frozenset()
+
+    @property
+    def affected_days(self) -> FrozenSet[int]:
+        """Days whose *inputs* differ from a clean run (crashes do not)."""
+        return self.malformed_days
+
+
+def plan_faults(
+    root: int,
+    days: int,
+    crash_rate: float = 0.0,
+    slow_rate: float = 0.0,
+    malformed_rate: float = 0.0,
+) -> ChaosPlan:
+    """Draw the seed-keyed fault plan for a run of ``days`` days."""
+    for name, rate in (
+        ("crash_rate", crash_rate),
+        ("slow_rate", slow_rate),
+        ("malformed_rate", malformed_rate),
+    ):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1], got {rate}")
+    crash = frozenset(
+        day
+        for day in range(days)
+        if crash_rate > 0.0 and _fault_rng(root, day, _CRASH_KEY).random() < crash_rate
+    )
+    slow = frozenset(
+        day
+        for day in range(days)
+        if slow_rate > 0.0 and _fault_rng(root, day, _SLOW_KEY).random() < slow_rate
+    )
+    malformed = frozenset(
+        day
+        for day in range(days)
+        if malformed_rate > 0.0
+        and _fault_rng(root, day, _MALFORMED_KEY).random() < malformed_rate
+    )
+    return ChaosPlan(
+        root=root, crash_days=crash, slow_days=slow, malformed_days=malformed
+    )
+
+
+@dataclass(frozen=True)
+class ChaosInjector:
+    """Executes a :class:`ChaosPlan` inside day workers.
+
+    Args:
+        plan: The seed-keyed fault plan.
+        fault_dir: Directory for the crash fuse markers; must be shared by
+            every worker process (it is — workers inherit the path).
+        kill: When true, a crash fault hard-kills the worker process with
+            ``SIGKILL`` (exercising ``BrokenProcessPool`` recovery); when
+            false it raises :class:`WorkerFailure` (exercising the retry
+            path).  Only use ``kill=True`` with ``workers > 1`` — in
+            serial mode it would take down the driver itself.
+        slow_s: How long a slow-task fault sleeps.
+    """
+
+    plan: ChaosPlan
+    fault_dir: str
+    kill: bool = False
+    slow_s: float = 0.2
+
+    def before_day(self, day: int) -> None:
+        """Fire this day's crash/slow faults, if any (called by workers)."""
+        if day in self.plan.slow_days:
+            time.sleep(self.slow_s)
+        if day in self.plan.crash_days and self._blow_fuse(day):
+            if self.kill:  # pragma: no cover - dies before coverage flushes
+                os.kill(os.getpid(), signal.SIGKILL)
+            raise WorkerFailure(index=day, attempt=1, cause="chaos-injected crash")
+
+    def _blow_fuse(self, day: int) -> bool:
+        """Atomically consume the day's one-shot crash fuse."""
+        os.makedirs(self.fault_dir, exist_ok=True)
+        marker = os.path.join(self.fault_dir, f"crash-day-{day}.fired")
+        try:
+            fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        os.close(fd)
+        return True
+
+    def corrupt_reports(
+        self, day: int, reports: Mapping[HouseholdId, Report]
+    ) -> Dict[HouseholdId, AnyReport]:
+        """Deterministically corrupt one household's report on a faulty day.
+
+        Non-faulty days pass through untouched.  The victim and corruption
+        shape derive from the (root, day) substream, so the same seed
+        always corrupts the same report the same way.
+        """
+        if day not in self.plan.malformed_days or not reports:
+            return dict(reports)
+        rng = _fault_rng(self.plan.root, day, _MALFORMED_KEY)
+        rng.random()  # skip the draw plan_faults consumed for this day
+        ids = sorted(reports)
+        victim = ids[int(rng.integers(len(ids)))]
+        shape = CORRUPTIONS[int(rng.integers(len(CORRUPTIONS)))]
+        report = reports[victim]
+        window = report.preference.window
+        duration = report.preference.duration
+        if shape == "inverted-window":
+            raw = RawReport(victim, window.end, window.start - 1, duration)
+        elif shape == "nan-bound":
+            raw = RawReport(victim, float("nan"), window.end, duration)
+        elif shape == "stretched-duration":
+            raw = RawReport(victim, window.start, window.end, duration + 25)
+        else:  # out-of-grid
+            raw = RawReport(victim, window.start - 40, window.end + 40, duration)
+        corrupted: Dict[HouseholdId, AnyReport] = dict(reports)
+        corrupted[victim] = raw
+        return corrupted
+
+
+@dataclass
+class _NullInjector:
+    """Stand-in when chaos is off: every hook is a no-op."""
+
+    plan: ChaosPlan = field(default_factory=lambda: ChaosPlan(root=0))
+
+    def before_day(self, day: int) -> None:
+        pass
+
+    def corrupt_reports(
+        self, day: int, reports: Mapping[HouseholdId, Report]
+    ) -> Dict[HouseholdId, AnyReport]:
+        return dict(reports)

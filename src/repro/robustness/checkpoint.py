@@ -1,0 +1,98 @@
+"""Day-level checkpointing for multi-day studies (JSONL, crash-safe).
+
+A 10k-day study killed at day 7 000 should not recompute days 0–6 999.
+Because every simulated day is a pure function of ``(seed, day)`` (see
+:mod:`repro.sim.rng`), a day's result can be persisted as it completes and
+replayed verbatim on resume — the merged output is identical to an
+uninterrupted run at the same seed.
+
+The store is an append-only JSONL file: one ``{"key": ..., "payload": ...}``
+line per completed unit of work, written as a single ``write()`` call and
+flushed to disk, so a kill can at worst truncate the final line.  Loading
+tolerates (and drops) such a truncated tail; everything before it is
+intact.  Keys are free-form strings (``"day-3"``, ``"n20-day7"``) so one
+store can checkpoint a population sweep as well as a flat day loop.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Optional
+
+from .errors import CheckpointError
+
+#: Format version embedded in every checkpoint line.
+CHECKPOINT_SCHEMA_VERSION = 1
+
+
+def day_key(day: int, prefix: str = "") -> str:
+    """Canonical checkpoint key for one simulated day."""
+    return f"{prefix}day-{day}" if prefix else f"day-{day}"
+
+
+class CheckpointStore:
+    """Append-only JSONL store of completed work units.
+
+    Args:
+        path: Checkpoint file; created on first append.
+        fresh: When true, any existing file is discarded at construction
+            (a non-resume run must not silently splice in stale results).
+    """
+
+    def __init__(self, path: str, fresh: bool = False) -> None:
+        self.path = path
+        if fresh and os.path.exists(path):
+            os.remove(path)
+        self._completed: Optional[Dict[str, Dict[str, Any]]] = None
+
+    def completed(self) -> Dict[str, Dict[str, Any]]:
+        """All persisted payloads by key (cached after the first read)."""
+        if self._completed is None:
+            self._completed = self._load()
+        return self._completed
+
+    def _load(self) -> Dict[str, Dict[str, Any]]:
+        records: Dict[str, Dict[str, Any]] = {}
+        try:
+            handle = open(self.path, "r", encoding="utf-8")
+        except FileNotFoundError:
+            return records
+        with handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    # A kill mid-write truncates at most the final line;
+                    # drop it and let the resume recompute that unit.
+                    continue
+                if not isinstance(record, dict) or "key" not in record:
+                    raise CheckpointError(
+                        f"malformed checkpoint record in {self.path!r}: {line[:80]}"
+                    )
+                records[str(record["key"])] = record.get("payload", {})
+        return records
+
+    def append(self, key: str, payload: Dict[str, Any]) -> None:
+        """Persist one completed unit; durable once this returns."""
+        record = {
+            "schema_version": CHECKPOINT_SCHEMA_VERSION,
+            "key": key,
+            "payload": payload,
+        }
+        line = json.dumps(record, sort_keys=True) + "\n"
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+        if self._completed is not None:
+            self._completed[key] = payload
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.completed()
+
+    def __len__(self) -> int:
+        return len(self.completed())

@@ -1,0 +1,100 @@
+"""Error taxonomy for the fault-tolerant mechanism pipeline.
+
+A production center distinguishes *whose* fault a failure is before it
+decides how to degrade: a malformed report is the participant's problem
+(quarantine it), an infeasible schedule or exhausted solve budget is the
+solver's (fall back a tier), and a crashed or hung worker is the runtime's
+(retry the payload).  Every failure mode the pipeline handles has one
+exception class here, each carrying a distinct process exit code so shell
+drivers can branch on *why* a run died without parsing tracebacks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ReproError(Exception):
+    """Base of every recoverable failure in the mechanism pipeline.
+
+    Attributes:
+        exit_code: Process exit status the CLI maps this failure to.
+    """
+
+    exit_code: int = 10
+
+
+class InvalidReportError(ReproError):
+    """A preference report failed validation at the trust boundary.
+
+    Args:
+        household_id: The reporting household.
+        reason: Machine-readable reason slug (e.g. ``"inverted-window"``).
+        detail: Human-readable one-liner for logs and CLI messages.
+    """
+
+    exit_code = 11
+
+    def __init__(self, household_id: str, reason: str, detail: str = "") -> None:
+        self.household_id = household_id
+        self.reason = reason
+        self.detail = detail
+        message = f"invalid report from {household_id!r}: {reason}"
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)
+
+
+class InfeasibleAllocationError(ReproError):
+    """A solver returned a schedule violating its own problem constraints."""
+
+    exit_code = 12
+
+    def __init__(self, allocator_name: str, detail: str = "") -> None:
+        self.allocator_name = allocator_name
+        self.detail = detail
+        message = f"allocator {allocator_name!r} returned an infeasible allocation"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+
+
+class SolverBudgetError(ReproError):
+    """No allocator tier produced a usable schedule within its budget."""
+
+    exit_code = 13
+
+    def __init__(self, detail: str = "") -> None:
+        self.detail = detail
+        super().__init__(detail or "solver budget exhausted with no usable allocation")
+
+
+class WorkerFailure(ReproError):
+    """A parallel worker crashed, hung, or raised while running a payload.
+
+    Args:
+        index: Index of the failed payload in the task list.
+        attempt: 1-based attempt number that failed.
+        cause: Short description of the underlying failure.
+    """
+
+    exit_code = 14
+
+    def __init__(self, index: int, attempt: int = 1, cause: str = "crashed") -> None:
+        self.index = index
+        self.attempt = attempt
+        self.cause = cause
+        super().__init__(f"worker failed on payload {index} (attempt {attempt}): {cause}")
+
+
+class CheckpointError(ReproError):
+    """A checkpoint file is unreadable or inconsistent with the run."""
+
+    exit_code = 15
+
+
+def exit_code_for(error: BaseException) -> Optional[int]:
+    """The CLI exit code for ``error``, or ``None`` for non-repro errors."""
+    if isinstance(error, ReproError):
+        return error.exit_code
+    return None

@@ -1,0 +1,155 @@
+"""Solver guardrails: a fallback chain wrapping any sequence of allocators.
+
+The exact branch-and-bound solver is the best allocator when it finishes,
+but at fig6 scale it can exhaust its budget, raise out of a cornered
+search, or (for a hypothetical buggy solver) return a schedule violating
+its own constraints.  :class:`FallbackAllocator` makes any allocator chain
+safe to run unattended: each tier gets a wall-clock budget, every returned
+schedule is re-validated against the problem, and a tier that raises,
+returns an infeasible allocation, or blows its budget hands the day to the
+next tier (typically B&B → greedy → random).  The served result records
+which tier produced it and the full trail of tier attempts, so studies can
+report how often each guardrail fired.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from ..allocation.base import AllocationProblem, AllocationResult, Allocator
+from .errors import SolverBudgetError
+
+
+@dataclass(frozen=True)
+class TierRecord:
+    """One tier's attempt at a solve: who ran, what happened, how long."""
+
+    tier: int
+    allocator: str
+    status: str  # "served" | "error" | "infeasible" | "served-over-budget"
+    wall_time_s: float
+    detail: str = ""
+
+    def as_payload(self) -> Dict[str, Any]:
+        """JSON-safe dict for the audit log."""
+        return {
+            "tier": self.tier,
+            "allocator": self.allocator,
+            "status": self.status,
+            "wall_time_s": self.wall_time_s,
+            "detail": self.detail,
+        }
+
+
+class FallbackAllocator(Allocator):
+    """Run a chain of allocators, degrading one tier at a time.
+
+    Args:
+        tiers: Allocators in preference order; the first usable result
+            wins.  Tier 0 is the "primary" — a day served by any later
+            tier counts as degraded.
+        tier_budget_s: Per-solve wall-clock budget.  Tiers exposing a
+            ``time_limit_s`` knob (the anytime B&B) have it clamped to
+            this budget at construction, so they cut themselves off; tiers
+            without one cannot be preempted mid-solve, so for them the
+            budget is checked after the fact and a completed-but-late
+            result is still served (recorded as ``served-over-budget``).
+
+    Raises:
+        SolverBudgetError: From :meth:`solve` when every tier fails.
+    """
+
+    name = "fallback"
+
+    def __init__(
+        self,
+        tiers: Sequence[Allocator],
+        tier_budget_s: Optional[float] = None,
+    ) -> None:
+        if not tiers:
+            raise ValueError("fallback chain needs at least one allocator")
+        if tier_budget_s is not None and tier_budget_s <= 0:
+            raise ValueError(f"tier budget must be positive, got {tier_budget_s}")
+        self.tiers = list(tiers)
+        self.tier_budget_s = tier_budget_s
+        if tier_budget_s is not None:
+            for allocator in self.tiers:
+                limit = getattr(allocator, "time_limit_s", None)
+                if hasattr(allocator, "time_limit_s") and (
+                    limit is None or limit > tier_budget_s
+                ):
+                    allocator.time_limit_s = tier_budget_s
+
+    @staticmethod
+    def default_chain(
+        tier_budget_s: float = 10.0, seed: Optional[int] = None
+    ) -> "FallbackAllocator":
+        """The standard production chain: B&B → greedy → random."""
+        from ..allocation.greedy import GreedyFlexibilityAllocator
+        from ..allocation.optimal import BranchAndBoundAllocator
+        from ..allocation.random_alloc import RandomAllocator
+
+        return FallbackAllocator(
+            tiers=[
+                BranchAndBoundAllocator(time_limit_s=tier_budget_s, seed=seed),
+                GreedyFlexibilityAllocator(seed=seed),
+                RandomAllocator(seed=seed),
+            ],
+            tier_budget_s=tier_budget_s,
+        )
+
+    def solve(
+        self, problem: AllocationProblem, rng: Optional[random.Random] = None
+    ) -> AllocationResult:
+        rng = rng if rng is not None else random.Random()
+        trail: Tuple[TierRecord, ...] = ()
+        for tier, allocator in enumerate(self.tiers):
+            started_at = time.perf_counter()
+            try:
+                result = allocator.solve(problem, rng)
+            except Exception as exc:  # any tier failure degrades, never aborts
+                trail += (
+                    TierRecord(
+                        tier=tier,
+                        allocator=allocator.name,
+                        status="error",
+                        wall_time_s=time.perf_counter() - started_at,
+                        detail=f"{type(exc).__name__}: {exc}",
+                    ),
+                )
+                continue
+            wall = time.perf_counter() - started_at
+            # Post-solve check: never trust a schedule, even from our own
+            # solvers — an infeasible s_i would corrupt every settlement
+            # equation downstream.
+            if not problem.is_feasible(result.allocation):
+                trail += (
+                    TierRecord(
+                        tier=tier,
+                        allocator=allocator.name,
+                        status="infeasible",
+                        wall_time_s=wall,
+                        detail="allocation violates window/duration constraints",
+                    ),
+                )
+                continue
+            status = "served"
+            if self.tier_budget_s is not None and wall > self.tier_budget_s:
+                status = "served-over-budget"
+            result.served_tier = tier
+            result.fallback_trail = trail + (
+                TierRecord(
+                    tier=tier,
+                    allocator=allocator.name,
+                    status=status,
+                    wall_time_s=wall,
+                ),
+            )
+            return result
+        raise SolverBudgetError(
+            f"all {len(self.tiers)} allocator tiers failed: "
+            + "; ".join(f"{r.allocator}={r.status}" for r in trail)
+        )

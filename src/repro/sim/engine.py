@@ -17,13 +17,21 @@ a pure function of ``(seed, day)`` per day.  The ``workers`` knob fans the
 day loop across a process pool (:mod:`repro.sim.parallel`); parallel runs
 are bit-identical to serial runs at the same seed because no generator
 state crosses a day boundary.
+
+Both engines also plug into the robustness stack: an optional report
+``quarantine`` screens each day's submissions, an optional ``chaos``
+injector exercises the failure paths deterministically, an optional
+``checkpoint`` store persists each day as it completes (and lets a rerun
+resume where a killed run stopped), and an optional ``audit`` log receives
+structured records for every quarantined report, fallback-served solve and
+recovered worker failure.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass, fields as dataclass_fields
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..allocation.base import AllocationProblem, Allocator
 from ..core.intervals import Interval
@@ -39,17 +47,26 @@ from ..core.types import (
     Neighborhood,
     Report,
 )
+from ..io.audit import AuditEvent, AuditLog
+from ..io.serialize import day_outcome_from_dict, day_outcome_to_dict
 from ..pricing.base import PricingModel
 from ..pricing.load_profile import LoadProfile
 from ..pricing.quadratic import QuadraticPricing
-from .parallel import map_tasks
+from ..robustness.chaos import ChaosInjector
+from ..robustness.checkpoint import CheckpointError, CheckpointStore, day_key
+from ..robustness.quarantine import Quarantine
+from .parallel import DEFAULT_RETRIES, map_tasks
 from .profiles import ProfileGenerator, neighborhood_from_profiles
 from .rng import make_day_rngs, root_entropy, spawn_seed
 
 
 @dataclass(frozen=True)
 class AllocatorDayRecord:
-    """One allocator's performance on one simulated day."""
+    """One allocator's performance on one simulated day.
+
+    ``served_tier`` is non-zero when a fallback chain degraded past its
+    primary solver for this day (see :mod:`repro.robustness.fallback`).
+    """
 
     day: int
     n_households: int
@@ -59,11 +76,27 @@ class AllocatorDayRecord:
     wall_time_s: float
     proven_optimal: bool
     nodes_explored: int
+    served_tier: int = 0
+
+
+_RECORD_FIELDS = frozenset(f.name for f in dataclass_fields(AllocatorDayRecord))
+
+
+def _record_from_dict(document: Dict[str, Any]) -> AllocatorDayRecord:
+    """Rebuild a checkpointed record, ignoring unknown/missing extras."""
+    return AllocatorDayRecord(
+        **{key: value for key, value in document.items() if key in _RECORD_FIELDS}
+    )
+
+
+#: A study worker's per-day result: records, quarantine decision payloads
+#: and fallback-trail payloads (the latter two JSON-safe for checkpoints).
+StudyDayResult = Tuple[List[AllocatorDayRecord], List[Dict], List[Dict]]
 
 
 def _run_study_day(
     task: Tuple["SocialWelfareStudy", int, int, int],
-) -> List[AllocatorDayRecord]:
+) -> StudyDayResult:
     """One Figures 4-6 day: sample a population, run every allocator.
 
     Module-level so the parallel runtime can pickle it; ``task`` carries
@@ -71,6 +104,8 @@ def _run_study_day(
     the day index and the population size.
     """
     study, root, day, n_households = task
+    if study.chaos is not None:
+        study.chaos.before_day(day)
     py_rng, np_rng = make_day_rngs(root, day)
     profiles = study.generator.sample_population(np_rng, n_households)
     neighborhood = neighborhood_from_profiles(profiles, study.true_preference)
@@ -78,10 +113,22 @@ def _run_study_day(
         hh.household_id: Report(hh.household_id, hh.true_preference)
         for hh in neighborhood
     }
+    quarantine_payloads: List[Dict] = []
+    if study.chaos is not None:
+        reports = study.chaos.corrupt_reports(day, reports)
+    if study.quarantine is not None:
+        screened = study.quarantine.screen(neighborhood, reports)
+        reports = screened.accepted
+        quarantine_payloads = [
+            decision.as_payload()
+            for decision in screened.decisions
+            if decision.action != "accepted"
+        ]
     problem = AllocationProblem.from_reports(
         reports, neighborhood.households, study.pricing
     )
     records: List[AllocatorDayRecord] = []
+    fallback_payloads: List[Dict] = []
     for allocator in study.allocators:
         result = allocator.solve(problem, random.Random(spawn_seed(py_rng)))
         profile = LoadProfile.from_schedule(
@@ -97,9 +144,33 @@ def _run_study_day(
                 wall_time_s=result.wall_time_s,
                 proven_optimal=result.proven_optimal,
                 nodes_explored=result.nodes_explored,
+                served_tier=result.served_tier,
             )
         )
-    return records
+        if result.served_tier > 0:
+            fallback_payloads.append(
+                {
+                    "allocator": allocator.name,
+                    "served_tier": result.served_tier,
+                    "trail": [record.as_payload() for record in result.fallback_trail],
+                }
+            )
+    return records, quarantine_payloads, fallback_payloads
+
+
+def _guard_checkpoint_meta(
+    checkpoint: CheckpointStore, key: str, context: Dict[str, Any]
+) -> None:
+    """Refuse to resume a checkpoint written by a different run setup."""
+    done = checkpoint.completed()
+    if key in done:
+        if done[key] != context:
+            raise CheckpointError(
+                f"checkpoint {checkpoint.path!r} was written by a different "
+                f"run: recorded {done[key]}, this run is {context}"
+            )
+    else:
+        checkpoint.append(key, context)
 
 
 class SocialWelfareStudy:
@@ -112,6 +183,11 @@ class SocialWelfareStudy:
         true_preference: Which window households report — the paper's
             social-welfare study has every household report its wide
             interval as its true preference.
+        quarantine: Optional report screen applied to each day's reports
+            before the allocators see them (required when ``chaos``
+            injects malformed reports).
+        chaos: Optional deterministic fault injector
+            (:class:`repro.robustness.chaos.ChaosInjector`).
     """
 
     def __init__(
@@ -120,6 +196,8 @@ class SocialWelfareStudy:
         generator: Optional[ProfileGenerator] = None,
         pricing: Optional[PricingModel] = None,
         true_preference: str = "wide",
+        quarantine: Optional[Quarantine] = None,
+        chaos: Optional[ChaosInjector] = None,
     ) -> None:
         if not allocators:
             raise ValueError("need at least one allocator to study")
@@ -130,6 +208,17 @@ class SocialWelfareStudy:
         self.generator = generator if generator is not None else ProfileGenerator()
         self.pricing = pricing if pricing is not None else QuadraticPricing()
         self.true_preference = true_preference
+        self.quarantine = quarantine
+        self.chaos = chaos
+        if (
+            chaos is not None
+            and chaos.plan.malformed_days
+            and quarantine is None
+        ):
+            raise ValueError(
+                "chaos injects malformed reports; configure a quarantine to "
+                "absorb them (policy 'clamp' or 'exclude')"
+            )
 
     def run(
         self,
@@ -137,6 +226,11 @@ class SocialWelfareStudy:
         days: int,
         seed: Optional[int] = None,
         workers: Optional[int] = 1,
+        checkpoint: Optional[CheckpointStore] = None,
+        checkpoint_prefix: str = "",
+        audit: Optional[AuditLog] = None,
+        timeout_s: Optional[float] = None,
+        retries: int = DEFAULT_RETRIES,
     ) -> List[AllocatorDayRecord]:
         """Simulate ``days`` independent days with ``n_households`` each.
 
@@ -148,13 +242,88 @@ class SocialWelfareStudy:
             workers: Process count for the day fan-out; ``1`` (default)
                 runs serially, ``0`` uses every core.  Results are
                 bit-identical across worker counts.
+            checkpoint: Persist each day's records as it completes; days
+                already in the store are replayed instead of recomputed,
+                so a killed run resumes where it stopped with identical
+                final results.
+            checkpoint_prefix: Key prefix inside the store (used by
+                :meth:`sweep` to keep population sizes apart).
+            audit: Structured event log; receives ``report_quarantined``,
+                ``fallback_served`` and ``worker_failure`` events for the
+                days computed in this call.
+            timeout_s: Per-round stall detector for the parallel runtime
+                (see :func:`repro.sim.parallel.map_tasks`).
+            retries: Pool retry budget per failed day before inline rerun.
         """
         if days < 1:
             raise ValueError(f"days must be >= 1, got {days}")
         root = root_entropy(seed)
-        tasks = [(self, root, day, n_households) for day in range(days)]
-        per_day = map_tasks(_run_study_day, tasks, workers)
-        return [record for day_records in per_day for record in day_records]
+        done: Dict[str, Dict[str, Any]] = {}
+        if checkpoint is not None:
+            _guard_checkpoint_meta(
+                checkpoint,
+                f"{checkpoint_prefix}meta",
+                {"root": root, "days": days, "n_households": n_households},
+            )
+            done = checkpoint.completed()
+        pending = [
+            day for day in range(days) if day_key(day, checkpoint_prefix) not in done
+        ]
+        tasks = [(self, root, day, n_households) for day in pending]
+
+        def _persist(index: int, value: StudyDayResult) -> None:
+            records, quarantined, fallbacks = value
+            checkpoint.append(
+                day_key(pending[index], checkpoint_prefix),
+                {
+                    "records": [asdict(record) for record in records],
+                    "quarantine": quarantined,
+                    "fallback": fallbacks,
+                },
+            )
+
+        def _log_failure(failure) -> None:
+            audit.append(
+                AuditEvent(
+                    kind="worker_failure",
+                    day=pending[failure.index],
+                    payload={
+                        "attempt": failure.attempt,
+                        "cause": failure.cause,
+                        "recovered": True,
+                    },
+                )
+            )
+
+        per_day = map_tasks(
+            _run_study_day,
+            tasks,
+            workers,
+            timeout_s=timeout_s,
+            retries=retries,
+            on_result=_persist if checkpoint is not None else None,
+            on_failure=_log_failure if audit is not None else None,
+        )
+        computed = dict(zip(pending, per_day))
+
+        out: List[AllocatorDayRecord] = []
+        for day in range(days):
+            if day in computed:
+                records, quarantined, fallbacks = computed[day]
+                if audit is not None:
+                    for payload in quarantined:
+                        audit.append(
+                            AuditEvent(kind="report_quarantined", day=day, payload=payload)
+                        )
+                    for payload in fallbacks:
+                        audit.append(
+                            AuditEvent(kind="fallback_served", day=day, payload=payload)
+                        )
+            else:
+                payload = done[day_key(day, checkpoint_prefix)]
+                records = [_record_from_dict(doc) for doc in payload["records"]]
+            out.extend(records)
+        return out
 
     def sweep(
         self,
@@ -162,13 +331,31 @@ class SocialWelfareStudy:
         days: int,
         seed: Optional[int] = None,
         workers: Optional[int] = 1,
+        checkpoint: Optional[CheckpointStore] = None,
+        audit: Optional[AuditLog] = None,
+        timeout_s: Optional[float] = None,
+        retries: int = DEFAULT_RETRIES,
     ) -> List[AllocatorDayRecord]:
-        """Run the study across population sizes (the Figures 4-6 x-axis)."""
+        """Run the study across population sizes (the Figures 4-6 x-axis).
+
+        With a ``checkpoint``, each population size keeps its own key
+        prefix in the shared store, so a killed sweep resumes mid-sweep.
+        """
         rng = random.Random(seed)
         records: List[AllocatorDayRecord] = []
         for n_households in populations:
             records.extend(
-                self.run(n_households, days, spawn_seed(rng), workers=workers)
+                self.run(
+                    n_households,
+                    days,
+                    spawn_seed(rng),
+                    workers=workers,
+                    checkpoint=checkpoint,
+                    checkpoint_prefix=f"n{n_households}-",
+                    audit=audit,
+                    timeout_s=timeout_s,
+                    retries=retries,
+                )
             )
         return records
 
@@ -211,14 +398,25 @@ def _run_simulation_day(
     run with ``workers > 1``.
     """
     simulation, neighborhood, root, day = task
+    if simulation.chaos is not None:
+        simulation.chaos.before_day(day)
     rng, _ = make_day_rngs(root, day)
     reports: Dict[HouseholdId, Report] = {
         hh.household_id: simulation.report_policy(day, hh, rng)
         for hh in neighborhood
     }
+    if simulation.chaos is not None:
+        reports = simulation.chaos.corrupt_reports(day, reports)
+    decisions: Tuple = ()
+    screened = simulation.mechanism.screen_reports(neighborhood, reports)
+    if screened is not None:
+        reports = screened.accepted
+        decisions = tuple(screened.decisions)
     allocation_result = simulation.mechanism.allocate(
-        neighborhood, reports, random.Random(spawn_seed(rng))
+        neighborhood, reports, random.Random(spawn_seed(rng)), pre_screened=True
     )
+    # Excluded (quarantined) households have no allocation and consume
+    # nothing through the mechanism that day.
     consumption: ConsumptionMap = {
         hh.household_id: simulation.consumption_policy(
             day,
@@ -228,6 +426,7 @@ def _run_simulation_day(
             rng,
         )
         for hh in neighborhood
+        if hh.household_id in allocation_result.allocation
     }
     settlement = simulation.mechanism.settle(
         neighborhood, reports, allocation_result.allocation, consumption
@@ -237,21 +436,43 @@ def _run_simulation_day(
         allocation_result=allocation_result,
         consumption=consumption,
         settlement=settlement,
+        quarantine_decisions=decisions,
     )
 
 
 class NeighborhoodSimulation:
-    """Run the full Enki mechanism over multiple days with custom behaviour."""
+    """Run the full Enki mechanism over multiple days with custom behaviour.
+
+    Args:
+        mechanism: The mechanism under study; a default
+            :class:`EnkiMechanism` when omitted.  Configure its
+            ``quarantine`` to screen reports (required when ``chaos``
+            injects malformed ones).
+        report_policy: What each household reports every day.
+        consumption_policy: What each allocated household consumes.
+        chaos: Optional deterministic fault injector.
+    """
 
     def __init__(
         self,
         mechanism: Optional[EnkiMechanism] = None,
         report_policy: ReportPolicy = truthful_report_policy,
         consumption_policy: ConsumptionPolicy = follow_or_closest_policy,
+        chaos: Optional[ChaosInjector] = None,
     ) -> None:
         self.mechanism = mechanism if mechanism is not None else EnkiMechanism()
         self.report_policy = report_policy
         self.consumption_policy = consumption_policy
+        self.chaos = chaos
+        if (
+            chaos is not None
+            and chaos.plan.malformed_days
+            and self.mechanism.quarantine is None
+        ):
+            raise ValueError(
+                "chaos injects malformed reports; configure the mechanism "
+                "with a quarantine to absorb them"
+            )
 
     def run(
         self,
@@ -259,6 +480,11 @@ class NeighborhoodSimulation:
         days: int,
         seed: Optional[int] = None,
         workers: Optional[int] = 1,
+        checkpoint: Optional[CheckpointStore] = None,
+        checkpoint_prefix: str = "",
+        audit: Optional[AuditLog] = None,
+        timeout_s: Optional[float] = None,
+        retries: int = DEFAULT_RETRIES,
     ) -> List[DayOutcome]:
         """Simulate ``days`` settled days for a fixed neighborhood.
 
@@ -268,9 +494,91 @@ class NeighborhoodSimulation:
             seed: Master seed; day ``d`` draws from substream ``(seed, d)``.
             workers: Process count for the day fan-out; ``1`` (default)
                 runs serially.  Parallel output is bit-identical to serial.
+            checkpoint: Persist each day's outcome as it completes and
+                replay already-completed days on rerun (``--resume``).
+            checkpoint_prefix: Key prefix inside the store.
+            audit: Structured event log for quarantine/fallback/worker
+                events.
+            timeout_s: Stall detector for the parallel runtime.
+            retries: Pool retry budget per failed day before inline rerun.
         """
         if days < 1:
             raise ValueError(f"days must be >= 1, got {days}")
         root = root_entropy(seed)
-        tasks = [(self, neighborhood, root, day) for day in range(days)]
-        return map_tasks(_run_simulation_day, tasks, workers)
+        done: Dict[str, Dict[str, Any]] = {}
+        if checkpoint is not None:
+            _guard_checkpoint_meta(
+                checkpoint,
+                f"{checkpoint_prefix}meta",
+                {"root": root, "days": days, "n_households": len(neighborhood)},
+            )
+            done = checkpoint.completed()
+        pending = [
+            day for day in range(days) if day_key(day, checkpoint_prefix) not in done
+        ]
+        tasks = [(self, neighborhood, root, day) for day in pending]
+
+        def _persist(index: int, outcome: DayOutcome) -> None:
+            checkpoint.append(
+                day_key(pending[index], checkpoint_prefix),
+                day_outcome_to_dict(outcome),
+            )
+
+        def _log_failure(failure) -> None:
+            audit.append(
+                AuditEvent(
+                    kind="worker_failure",
+                    day=pending[failure.index],
+                    payload={
+                        "attempt": failure.attempt,
+                        "cause": failure.cause,
+                        "recovered": True,
+                    },
+                )
+            )
+
+        computed_list = map_tasks(
+            _run_simulation_day,
+            tasks,
+            workers,
+            timeout_s=timeout_s,
+            retries=retries,
+            on_result=_persist if checkpoint is not None else None,
+            on_failure=_log_failure if audit is not None else None,
+        )
+        computed = dict(zip(pending, computed_list))
+
+        outcomes: List[DayOutcome] = []
+        for day in range(days):
+            if day in computed:
+                outcome = computed[day]
+                if audit is not None:
+                    for decision in outcome.quarantine_decisions:
+                        if decision.action != "accepted":
+                            audit.append(
+                                AuditEvent(
+                                    kind="report_quarantined",
+                                    day=day,
+                                    payload=decision.as_payload(),
+                                )
+                            )
+                    if outcome.allocation_result.served_tier > 0:
+                        audit.append(
+                            AuditEvent(
+                                kind="fallback_served",
+                                day=day,
+                                payload={
+                                    "served_tier": outcome.allocation_result.served_tier,
+                                    "trail": [
+                                        record.as_payload()
+                                        for record in outcome.allocation_result.fallback_trail
+                                    ],
+                                },
+                            )
+                        )
+            else:
+                outcome = day_outcome_from_dict(
+                    done[day_key(day, checkpoint_prefix)]
+                )
+            outcomes.append(outcome)
+        return outcomes

@@ -1,4 +1,4 @@
-"""Deterministic process-pool fan-out for embarrassingly parallel day loops.
+"""Deterministic, fault-tolerant process-pool fan-out for day loops.
 
 Every Section VI/VII driver is a loop over *independent* simulated days:
 each day samples a fresh population (or replays fixed households) from its
@@ -9,10 +9,27 @@ module provides the one primitive they all use:
 :func:`map_tasks` — an order-preserving map over payloads that runs inline
 for ``workers=1`` (the default everywhere, leaving existing behaviour and
 seeds untouched) and fans out across a :class:`~concurrent.futures.
-ProcessPoolExecutor` for ``workers>1``.  Because results come back in
-submission order and each payload's computation is a pure function of the
+ProcessPoolExecutor` for ``workers>1``.  Because results are keyed by
+payload index and each payload's computation is a pure function of the
 payload (RNG substreams included), parallel output is bit-identical to
 serial output — only wall-clock time changes.
+
+The parallel path is hardened for unattended runs:
+
+* **Crash recovery** — a worker that dies (``BrokenProcessPool``) or
+  raises fails only its own payloads; those are retried in a fresh pool
+  with exponential backoff, and after ``retries`` attempts re-run inline
+  in the parent.  Purity makes every re-run bit-identical, and a payload
+  whose function *deterministically* raises still surfaces its original
+  exception from the inline run — same semantics as serial mode.
+* **Stall detection** — with ``timeout_s`` set, a round in which *no*
+  task completes for that long is declared hung: the worker processes are
+  killed and the unfinished payloads recycled through the retry path.
+  Set it comfortably above the slowest expected single task.
+* **Streaming results** — ``on_result(index, value)`` fires as each
+  payload first completes (completion order), enabling incremental
+  checkpointing; ``on_failure(failure)`` reports every
+  :class:`~repro.robustness.errors.WorkerFailure` for the audit trail.
 
 Worker functions must be module-level (picklable) and payloads must pickle;
 all engine day-workers in :mod:`repro.sim.engine` satisfy this.  Custom
@@ -23,14 +40,24 @@ serial mode.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, List, Optional, Sequence, TypeVar
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+
+from ..robustness.errors import WorkerFailure
 
 _P = TypeVar("_P")
 _R = TypeVar("_R")
 
 #: Sentinel meaning "use every core the machine has".
 ALL_CORES = 0
+
+#: Default number of *re*-tries a failed payload gets before running inline.
+DEFAULT_RETRIES = 2
+
+#: Default base of the exponential retry backoff, in seconds.
+DEFAULT_BACKOFF_S = 0.05
 
 
 def available_cores() -> int:
@@ -44,15 +71,98 @@ def available_cores() -> int:
 def resolve_workers(workers: Optional[int]) -> int:
     """Normalize a ``workers`` knob to a concrete positive worker count.
 
-    ``None`` and ``1`` mean serial; ``0`` (:data:`ALL_CORES`) and any
-    negative value mean "all available cores"; anything else is taken
+    ``None`` and ``1`` mean serial; ``0`` (:data:`ALL_CORES`) and ``-1``
+    mean "all available cores"; any other positive value is taken
     literally (it may exceed the core count — the OS will time-slice).
+
+    Raises:
+        ValueError: For any value below ``-1`` — historically these fell
+            through to "all cores", silently masking typos like ``-8``.
     """
     if workers is None:
         return 1
-    if workers <= 0:
+    workers = int(workers)
+    if workers < -1:
+        raise ValueError(
+            f"workers must be >= -1 (0 or -1 = all cores), got {workers}"
+        )
+    if workers in (ALL_CORES, -1):
         return available_cores()
-    return int(workers)
+    return workers
+
+
+def _call_chunk(fn: Callable[[_P], _R], chunk: Sequence[_P]) -> List[_R]:
+    """Run one submission unit in a worker (module-level: picklable)."""
+    return [fn(payload) for payload in chunk]
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Forcibly terminate a pool's worker processes (hung or broken)."""
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.kill()
+        except Exception:  # pragma: no cover - already-dead races
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _pool_round(
+    fn: Callable[[_P], _R],
+    payloads: Sequence[_P],
+    units: Sequence[Tuple[int, ...]],
+    n_workers: int,
+    timeout_s: Optional[float],
+    results: Dict[int, _R],
+    on_result: Optional[Callable[[int, _R], None]],
+) -> List[Tuple[Tuple[int, ...], str]]:
+    """One attempt at the unresolved units; returns the failed ones."""
+    failures: List[Tuple[Tuple[int, ...], str]] = []
+    pool = ProcessPoolExecutor(max_workers=min(n_workers, len(units)))
+    killed = False
+    try:
+        futures = {
+            pool.submit(_call_chunk, fn, [payloads[i] for i in unit]): unit
+            for unit in units
+        }
+        not_done = set(futures)
+        fatal: Optional[str] = None
+        while not_done and fatal is None:
+            done, not_done = wait(
+                not_done, timeout=timeout_s, return_when=FIRST_COMPLETED
+            )
+            if not done:
+                fatal = (
+                    f"stalled: no task completed within {timeout_s}s "
+                    "(presumed hung worker)"
+                )
+                break
+            for future in done:
+                unit = futures[future]
+                try:
+                    values = future.result()
+                except BrokenProcessPool as exc:
+                    fatal = f"process pool broke: {exc!r}"
+                    break
+                except Exception as exc:
+                    failures.append((unit, f"{type(exc).__name__}: {exc}"))
+                else:
+                    for index, value in zip(unit, values):
+                        results[index] = value
+                        if on_result is not None:
+                            on_result(index, value)
+        if fatal is not None:
+            resolved = set(results)
+            failed = {i for unit, _ in failures for i in unit}
+            for unit in futures.values():
+                if unit[0] not in resolved and unit[0] not in failed:
+                    failures.append((unit, fatal))
+            _kill_pool(pool)
+            killed = True
+    finally:
+        if not killed:
+            pool.shutdown(wait=True)
+    return failures
 
 
 def map_tasks(
@@ -60,6 +170,11 @@ def map_tasks(
     payloads: Sequence[_P],
     workers: Optional[int] = 1,
     chunksize: int = 1,
+    timeout_s: Optional[float] = None,
+    retries: int = DEFAULT_RETRIES,
+    backoff_s: float = DEFAULT_BACKOFF_S,
+    on_result: Optional[Callable[[int, _R], None]] = None,
+    on_failure: Optional[Callable[[WorkerFailure], None]] = None,
 ) -> List[_R]:
     """Order-preserving map of ``fn`` over ``payloads``, optionally parallel.
 
@@ -68,15 +183,86 @@ def map_tasks(
         payloads: Picklable task descriptions; one ``fn`` call each.
         workers: Worker processes (see :func:`resolve_workers`); ``1`` runs
             inline in this process with zero overhead.
-        chunksize: Payloads per worker dispatch for ``workers > 1``.
+        chunksize: Payloads per worker dispatch for ``workers > 1``; also
+            the retry granularity (a failed chunk retries whole).
+        timeout_s: Stall detector for the parallel path: if no task
+            completes for this long, the pool is presumed hung, its
+            processes are killed and the unfinished payloads retried.
+            ``None`` disables the detector.
+        retries: How many pool re-attempts a failed payload gets (with
+            exponential backoff) before being re-run inline in the parent.
+        backoff_s: Base of the exponential backoff between retry rounds.
+        on_result: Called as ``on_result(index, value)`` the first time
+            each payload completes — completion order in parallel runs,
+            submission order serially.  Must not raise.
+        on_failure: Called with a :class:`WorkerFailure` for every failed
+            attempt (crash, stall, or in-task exception); the failure is
+            being handled — this hook exists for audit logging.
 
     Returns:
         ``[fn(p) for p in payloads]`` — same values, same order, regardless
-        of ``workers``.
+        of ``workers`` and of any recovered faults along the way.
     """
+    if retries < 0:
+        raise ValueError(f"retries cannot be negative, got {retries}")
+    if chunksize < 1:
+        raise ValueError(f"chunksize must be >= 1, got {chunksize}")
     n_workers = resolve_workers(workers)
     if n_workers <= 1 or len(payloads) <= 1:
-        return [fn(payload) for payload in payloads]
-    n_workers = min(n_workers, len(payloads))
-    with ProcessPoolExecutor(max_workers=n_workers) as pool:
-        return list(pool.map(fn, payloads, chunksize=chunksize))
+        serial: List[_R] = []
+        for index, payload in enumerate(payloads):
+            attempt = 0
+            while True:
+                try:
+                    value = fn(payload)
+                    break
+                except Exception as exc:
+                    attempt += 1
+                    if on_failure is not None:
+                        on_failure(
+                            WorkerFailure(
+                                index, attempt, f"{type(exc).__name__}: {exc}"
+                            )
+                        )
+                    if attempt > retries:
+                        raise
+                    time.sleep(backoff_s * (2 ** (attempt - 1)))
+            serial.append(value)
+            if on_result is not None:
+                on_result(index, value)
+        return serial
+
+    indices = list(range(len(payloads)))
+    units: List[Tuple[int, ...]] = [
+        tuple(indices[at:at + chunksize]) for at in range(0, len(indices), chunksize)
+    ]
+    results: Dict[int, _R] = {}
+    attempts: Dict[Tuple[int, ...], int] = {unit: 0 for unit in units}
+    pending = units
+    while pending:
+        failures = _pool_round(
+            fn, payloads, pending, n_workers, timeout_s, results, on_result
+        )
+        retry_units: List[Tuple[int, ...]] = []
+        round_attempts = 0
+        for unit, cause in failures:
+            attempts[unit] += 1
+            round_attempts = max(round_attempts, attempts[unit])
+            if on_failure is not None:
+                on_failure(WorkerFailure(unit[0], attempts[unit], cause))
+            if attempts[unit] > retries:
+                # Last resort: recompute inline.  Purity keeps the value
+                # bit-identical; a payload whose fn deterministically
+                # raises surfaces its genuine exception here, exactly as
+                # a serial run would.
+                for index in unit:
+                    value = fn(payloads[index])
+                    results[index] = value
+                    if on_result is not None:
+                        on_result(index, value)
+            else:
+                retry_units.append(unit)
+        if retry_units:
+            time.sleep(backoff_s * (2 ** (round_attempts - 1)))
+        pending = retry_units
+    return [results[index] for index in indices]
