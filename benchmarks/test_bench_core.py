@@ -4,9 +4,18 @@ Not tied to one paper artifact; these track the cost of the operations
 every experiment is built from (settlement, scoring, greedy allocation),
 so regressions in the hot paths show up even when the figure-level
 benches drown them in workload generation.
+
+``test_bench_bnb_n30_smoke`` doubles as the CI perf-smoke gate: it fails
+when the exact solver's bench instance regresses more than 2x over the
+committed ``BENCH_core.json`` trajectory (a deliberately loose threshold
+that absorbs runner-speed noise but catches the "accidentally quadratic"
+class of regression).
 """
 
+import json
+import pathlib
 import random
+import time
 
 import numpy as np
 
@@ -73,3 +82,37 @@ def test_bench_greedy_n50(benchmark):
     allocator = GreedyFlexibilityAllocator()
     result = benchmark(lambda: allocator.solve(problem, random.Random(0)))
     assert problem.is_feasible(result.allocation)
+
+
+#: Committed perf trajectory (repo root); the smoke gate reads the
+#: ``bnb_solve_n30`` entry refreshed on the recording machine.
+_BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_core.json"
+
+#: Regression tolerance over the committed time — loose on purpose, CI
+#: runners are not the recording machine.
+_BNB_REGRESSION_FACTOR = 2.0
+
+
+def test_bench_bnb_n30_smoke(benchmark):
+    from repro.allocation.optimal import BranchAndBoundAllocator
+
+    problem = day_problem(30)
+    allocator = BranchAndBoundAllocator(time_limit_s=30.0)
+    result = benchmark(lambda: allocator.solve(problem, random.Random(0)))
+    assert problem.is_feasible(result.allocation)
+    assert result.proven_optimal
+
+    committed = json.loads(_BENCH_JSON.read_text())["benchmarks"][
+        "bnb_solve_n30"
+    ]["seconds"]
+    # Best-of-5 independent timing: robust against one noisy sample, and
+    # not coupled to pytest-benchmark's calibration internals.
+    best = float("inf")
+    for _ in range(5):
+        started = time.perf_counter()
+        allocator.solve(problem, random.Random(0))
+        best = min(best, time.perf_counter() - started)
+    assert best <= _BNB_REGRESSION_FACTOR * committed, (
+        f"bnb_solve_n30 took {best:.4f}s, more than "
+        f"{_BNB_REGRESSION_FACTOR}x the committed {committed:.4f}s"
+    )

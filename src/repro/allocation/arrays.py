@@ -1,0 +1,217 @@
+"""Structure-of-arrays compilation of allocation problems.
+
+Every allocator used to re-derive the same per-item facts — begin-slot
+ranges, prefix-sum index vectors, window supports, suffix aggregates —
+from ``AllocationItem`` attributes inside its hot loop.  This module
+lowers an :class:`~repro.allocation.base.AllocationProblem` **once** into
+flat numpy arrays that the greedy allocator, the hill climber, the
+relaxation bounds and the branch-and-bound solver all share:
+
+* :class:`CompiledProblem` — per-item scalars (window bounds, duration,
+  rating, energy) as parallel arrays, plus per-item begin-candidate index
+  vectors so a placement scan is one fancy-indexed subtraction against a
+  maintained load prefix sum instead of a Python loop.
+* :class:`SuffixArrays` — the branch-and-bound bound data (remaining
+  energy, per-hour capacity, window support, brick counts, pairwise
+  minimum-overlap cross terms) for every suffix of a branch order, built
+  with reverse cumulative sums instead of the seed's O(n^2 * 24) Python
+  loops.
+
+Compilation is cached per problem object (weakly), so the warm-start
+greedy running inside the exact solver reuses the same compiled view as
+a standalone greedy solve on the same day instance.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.intervals import HOURS_PER_DAY
+from ..core.types import HouseholdId
+from ..pricing.quadratic import QuadraticPricing
+from .base import AllocationItem, AllocationProblem
+
+
+@dataclass(frozen=True)
+class CompiledProblem:
+    """An allocation problem lowered to flat numpy arrays.
+
+    Arrays are parallel to ``items`` (one row per household, in the order
+    given at compile time).  ``start_index[i]``/``end_index[i]`` hold the
+    feasible begin slots of item ``i`` and their block ends, so the sum of
+    an existing load profile under every candidate block of item ``i`` is
+    ``prefix[end_index[i]] - prefix[start_index[i]]`` for a maintained
+    prefix-sum vector ``prefix`` (one vectorized subtraction per item).
+    """
+
+    items: Tuple[AllocationItem, ...]
+    sigma: Optional[float]
+    win_start: np.ndarray
+    win_end: np.ndarray
+    duration: np.ndarray
+    rating: np.ndarray
+    n_placements: np.ndarray
+    energy: np.ndarray
+    start_index: Tuple[np.ndarray, ...]
+    end_index: Tuple[np.ndarray, ...]
+    index_of: Dict[HouseholdId, int]
+
+    @classmethod
+    def from_items(
+        cls, items: Sequence[AllocationItem], pricing=None
+    ) -> "CompiledProblem":
+        """Lower ``items`` (in the given order) into arrays."""
+        n = len(items)
+        win_start = np.fromiter((it.window.start for it in items), np.intp, count=n)
+        win_end = np.fromiter((it.window.end for it in items), np.intp, count=n)
+        duration = np.fromiter((it.duration for it in items), np.intp, count=n)
+        rating = np.fromiter((it.rating_kw for it in items), np.float64, count=n)
+        n_placements = win_end - win_start - duration + 1
+        start_index = tuple(
+            np.arange(a, a + count, dtype=np.intp)
+            for a, count in zip(win_start.tolist(), n_placements.tolist())
+        )
+        end_index = tuple(
+            starts + v for starts, v in zip(start_index, duration.tolist())
+        )
+        sigma = pricing.sigma if isinstance(pricing, QuadraticPricing) else None
+        return cls(
+            items=tuple(items),
+            sigma=sigma,
+            win_start=win_start,
+            win_end=win_end,
+            duration=duration,
+            rating=rating,
+            n_placements=n_placements,
+            energy=rating * duration,
+            start_index=start_index,
+            end_index=end_index,
+            index_of={it.household_id: i for i, it in enumerate(items)},
+        )
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def block_sums(self, prefix: np.ndarray, i: int) -> np.ndarray:
+        """Existing-load sum under every candidate block of item ``i``.
+
+        ``prefix`` is the 25-entry prefix sum of the current hourly loads
+        (``prefix[0] == 0``); entry ``k`` of the result is the load under
+        the block beginning at ``start_index[i][k]``.
+        """
+        return prefix[self.end_index[i]] - prefix[self.start_index[i]]
+
+    def window_matrix(self) -> np.ndarray:
+        """Boolean ``(n, HOURS_PER_DAY)`` window-coverage indicator."""
+        hours = np.arange(HOURS_PER_DAY)
+        return (self.win_start[:, None] <= hours[None, :]) & (
+            hours[None, :] < self.win_end[:, None]
+        )
+
+    def uniform_rating(self) -> Optional[float]:
+        """The common power rating, or ``None`` if ratings differ."""
+        if len(self.items) == 0:
+            return None
+        first = float(self.rating[0])
+        if np.all(self.rating == first):
+            return first
+        return None
+
+
+#: Weak per-problem compilation cache: the warm-start greedy inside the
+#: exact solver sees the same ``AllocationProblem`` object as a standalone
+#: solve, so the lowering is paid once per day instance.
+_COMPILE_CACHE: "weakref.WeakKeyDictionary[AllocationProblem, CompiledProblem]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def compile_problem(problem: AllocationProblem) -> CompiledProblem:
+    """The problem's :class:`CompiledProblem` (cached weakly per object)."""
+    compiled = _COMPILE_CACHE.get(problem)
+    if compiled is None:
+        compiled = CompiledProblem.from_items(problem.items, problem.pricing)
+        _COMPILE_CACHE[problem] = compiled
+    return compiled
+
+
+@dataclass(frozen=True)
+class SuffixArrays:
+    """Per-depth bound data for a fixed branch order.
+
+    Index ``k`` describes the suffix of households ``k..n-1`` still
+    unplaced when the search stands at depth ``k``; index ``n`` is the
+    empty suffix.  These are exactly the seed solver's ``suffix_*``
+    tables, built vectorized.
+    """
+
+    energy: np.ndarray           # (n+1,) remaining energy R_k
+    self_term: np.ndarray        # (n+1,) sum_j r_j^2 v_j over the suffix
+    cross: np.ndarray            # (n+1,) pairwise minimum-overlap floor
+    caps: np.ndarray             # (n+1, 24) per-hour remaining capacity
+    counts: np.ndarray           # (n+1, 24) remaining households covering h
+    units: np.ndarray            # (n+1,) remaining brick count sum_j v_j
+    support_index: Tuple[np.ndarray, ...]  # (n+1) hour-index arrays, caps > 0
+    same_as_prev: Tuple[bool, ...]         # identical-spec symmetry flags
+
+    @classmethod
+    def from_compiled(cls, compiled: CompiledProblem) -> "SuffixArrays":
+        """Build all suffix tables for the compiled items' order."""
+        n = len(compiled)
+        window = compiled.window_matrix()          # (n, 24) bool
+        rating = compiled.rating
+        duration = compiled.duration.astype(np.float64)
+
+        def _suffix_sum(rows: np.ndarray) -> np.ndarray:
+            """Reverse cumulative sum with a trailing zero row."""
+            out = np.zeros((n + 1,) + rows.shape[1:], dtype=rows.dtype)
+            if n:
+                out[:n] = rows[::-1].cumsum(axis=0)[::-1]
+            return out
+
+        energy = _suffix_sum(rating * duration)
+        self_term = _suffix_sum(rating * rating * duration)
+        caps = _suffix_sum(window * rating[:, None])
+        counts = _suffix_sum(window.astype(np.intp))
+        units = _suffix_sum(compiled.duration)
+
+        # Pairwise minimum-overlap floor on the cross terms of sum(X**2):
+        # blocks of lengths v, v' confined to the hull of their windows
+        # (length L) overlap at least v + v' - L hours, whatever happens.
+        if n:
+            hull = np.maximum(
+                compiled.win_end[:, None], compiled.win_end[None, :]
+            ) - np.minimum(compiled.win_start[:, None], compiled.win_start[None, :])
+            forced = np.maximum(
+                compiled.duration[:, None] + compiled.duration[None, :] - hull, 0
+            )
+            pair = rating[:, None] * rating[None, :] * forced
+            pair[np.tril_indices(n)] = 0.0     # keep j < j' pairs only
+            cross = _suffix_sum(pair.sum(axis=1))
+        else:
+            cross = np.zeros(1)
+
+        same_as_prev = tuple(
+            k > 0
+            and compiled.items[k].window == compiled.items[k - 1].window
+            and compiled.items[k].duration == compiled.items[k - 1].duration
+            and compiled.items[k].rating_kw == compiled.items[k - 1].rating_kw
+            for k in range(n)
+        )
+        support_index = tuple(
+            np.flatnonzero(caps[k] > 0.0) for k in range(n + 1)
+        )
+        return cls(
+            energy=energy,
+            self_term=self_term,
+            cross=cross,
+            caps=caps,
+            counts=counts,
+            units=units,
+            support_index=support_index,
+            same_as_prev=same_as_prev,
+        )

@@ -129,6 +129,11 @@ class AllocationResult:
     :class:`repro.robustness.fallback.FallbackAllocator`: the tier index
     that produced this allocation (0 = primary solver) and the record of
     every tier attempt that led to it.
+
+    ``root_bound_matched`` is set by the exact solver when its root
+    relaxation certified the incumbent — either immediately (the reported
+    ``nodes_explored`` is then 1, the root evaluation) or as soon as the
+    search found an incumbent meeting the root bound.
     """
 
     allocation: AllocationMap
@@ -140,6 +145,7 @@ class AllocationResult:
     allocator_name: str = ""
     served_tier: int = 0
     fallback_trail: Tuple = ()
+    root_bound_matched: bool = False
 
 
 class Allocator(abc.ABC):
@@ -168,6 +174,7 @@ class Allocator(abc.ABC):
         proven_optimal: bool = False,
         nodes_explored: int = 0,
         lower_bound: Optional[float] = None,
+        root_bound_matched: bool = False,
     ) -> AllocationResult:
         """Assemble a result, validating feasibility."""
         if not problem.is_feasible(allocation):
@@ -182,4 +189,5 @@ class Allocator(abc.ABC):
             nodes_explored=nodes_explored,
             lower_bound=lower_bound,
             allocator_name=self.name,
+            root_bound_matched=root_bound_matched,
         )

@@ -20,6 +20,7 @@ from ..core.flexibility import flexibility_vector
 from ..core.intervals import HOURS_PER_DAY, Interval
 from ..core.types import AllocationMap, HouseholdId
 from ..pricing.quadratic import QuadraticPricing
+from .arrays import CompiledProblem, compile_problem
 from .base import AllocationProblem, AllocationResult, Allocator
 
 
@@ -75,12 +76,15 @@ class GreedyFlexibilityAllocator(Allocator):
             ),
         )
 
+        compiled = compile_problem(problem)
         loads = np.zeros(HOURS_PER_DAY, dtype=float)
         prefix = np.zeros(HOURS_PER_DAY + 1, dtype=float)
         allocation: AllocationMap = {}
         quadratic = isinstance(problem.pricing, QuadraticPricing)
         for item in order:
-            best_start = self._best_start(problem, loads, prefix, item, quadratic)
+            best_start = self._best_start(
+                problem, compiled, loads, prefix, item, quadratic
+            )
             placed = Interval(best_start, best_start + item.duration)
             allocation[item.household_id] = placed
             loads[placed.start:placed.end] += item.rating_kw
@@ -91,6 +95,7 @@ class GreedyFlexibilityAllocator(Allocator):
     @staticmethod
     def _best_start(
         problem: AllocationProblem,
+        compiled: CompiledProblem,
         loads: np.ndarray,
         prefix: np.ndarray,
         item,
@@ -100,17 +105,17 @@ class GreedyFlexibilityAllocator(Allocator):
 
         Under quadratic pricing the marginal cost of a block is, up to a
         placement-independent constant, proportional to the sum of existing
-        loads under the block; the maintained prefix sum gives every
-        candidate window's sum in one vectorized subtraction, reused across
-        placements instead of re-convolving per item.  Other pricing models
-        get the same sliding-window treatment over per-hour marginal costs
-        (which depend only on that hour's load), so no candidate rescans
-        its hours.
+        loads under the block; the compiled begin-candidate index vectors
+        turn the maintained prefix sum into every candidate window's sum in
+        one vectorized subtraction, reused across placements instead of
+        re-convolving per item.  Other pricing models get the same
+        sliding-window treatment over per-hour marginal costs (which depend
+        only on that hour's load), so no candidate rescans its hours.
         """
         a, b, v = item.window.start, item.window.end, item.duration
         if quadratic:
             # Window sum of existing loads for every start s: prefix[s+v]-prefix[s].
-            sums = prefix[a + v:b + 1] - prefix[a:b - v + 1]
+            sums = compiled.block_sums(prefix, compiled.index_of[item.household_id])
             return a + int(np.argmin(sums))
 
         hourly = np.fromiter(

@@ -18,6 +18,7 @@ import numpy as np
 from ..core.intervals import HOURS_PER_DAY, Interval
 from ..core.types import AllocationMap
 from ..pricing.quadratic import QuadraticPricing
+from .arrays import compile_problem
 from .base import AllocationProblem, AllocationResult, Allocator
 from .greedy import GreedyFlexibilityAllocator
 
@@ -33,6 +34,12 @@ def improve_allocation(
     Returns a new allocation; the input mapping is not modified.
     """
     current = dict(allocation)
+    compiled = compile_problem(problem)
+    win_start = compiled.win_start.tolist()
+    win_end = compiled.win_end.tolist()
+    durations = compiled.duration.tolist()
+    ratings = compiled.rating.tolist()
+    index_of = compiled.index_of
     loads = np.zeros(HOURS_PER_DAY, dtype=float)
     for item in problem.items:
         placed = current[item.household_id]
@@ -45,15 +52,17 @@ def improve_allocation(
         improved = False
         rng.shuffle(items)
         for item in items:
+            j = index_of[item.household_id]
+            rating = ratings[j]
             placed = current[item.household_id]
-            loads[placed.start:placed.end] -= item.rating_kw
+            loads[placed.start:placed.end] -= rating
 
             if quadratic:
-                window_loads = loads[item.window.start:item.window.end]
-                sums = np.convolve(window_loads, np.ones(item.duration), mode="valid")
+                window_loads = loads[win_start[j]:win_end[j]]
+                sums = np.convolve(window_loads, np.ones(durations[j]), mode="valid")
                 best_idx = int(np.argmin(sums))
-                best_start = item.window.start + best_idx
-                current_idx = placed.start - item.window.start
+                best_start = win_start[j] + best_idx
+                current_idx = placed.start - win_start[j]
                 if sums[best_idx] < sums[current_idx] - 1e-12:
                     improved = True
                 else:
@@ -70,9 +79,9 @@ def improve_allocation(
                         best_start, best_delta = start, delta
                         improved = True
 
-            new_block = Interval(best_start, best_start + item.duration)
+            new_block = Interval(best_start, best_start + durations[j])
             current[item.household_id] = new_block
-            loads[new_block.start:new_block.end] += item.rating_kw
+            loads[new_block.start:new_block.end] += rating
         if not improved:
             break
     return current

@@ -6,11 +6,26 @@ energy spread fractionally over the hours their windows cover.  Minimizing
 ``sigma * sum((l_h + x_h)**2)`` subject to ``0 <= x_h <= c_h`` and
 ``sum(x_h) = R`` is a classic water-filling problem whose optimum is
 ``x_h = clip(level - l_h, 0, c_h)`` for a common water level.
+
+The strongest relaxation here is the *brick transportation* bound
+(windows kept, contiguity dropped).  Two implementations coexist:
+
+* :func:`brick_flow_cost` — a self-contained successive-shortest-path
+  min-cost-flow kernel over the compact household/hour graph, all-integer
+  arithmetic, no imports.  This is what the accelerated solver calls; the
+  optimum *value* is unique, so it is bit-for-bit the bound the network
+  simplex would produce, at a fraction of the cost.
+* :func:`transportation_bound` / :func:`transportation_solution` — the
+  original networkx network-simplex formulation.  Kept because
+  ``transportation_solution`` also extracts *one particular* optimal
+  brick assignment (optimal flows are not unique), which the solver's
+  warm-start rounding depends on for bit-identical incumbents.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+import heapq
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -67,6 +82,157 @@ def quadratic_waterfill_bound(
     additions = waterfill_levels(loads, energy, capacities)
     filled = loads + additions
     return float(sigma * np.dot(filled, filled))
+
+
+def brick_flow_cost(
+    m: Sequence[int],
+    windows: Sequence[Sequence[int]],
+    durations: Sequence[int],
+    counts: Optional[Sequence[int]] = None,
+) -> int:
+    """Exact integer optimum of the brick transportation problem.
+
+    Each household ``j`` places ``durations[j]`` one-hour bricks, at most
+    one per hour, only in the hours ``windows[j]`` covers; the k-th brick
+    landing in hour ``h`` (which already carries ``m[h]`` load units)
+    costs ``2*m[h] + 2*k - 1``.  This is the min-cost flow behind
+    :func:`transportation_bound`, solved by successive shortest paths
+    with Dijkstra and Johnson potentials on the compact bipartite graph
+    (households -> hours -> sink) instead of networkx's expanded
+    per-brick-slot network simplex.  All arithmetic is integral, so the
+    returned optimum is exactly the simplex flow cost.
+
+    Args:
+        m: Integer load multiples already in each hour.
+        windows: Per household, the hour slots its window covers.
+        durations: Per household, the number of bricks to place.
+        counts: Optional per-hour brick capacity (households covering the
+            hour); derived from ``windows`` when omitted.
+
+    Returns:
+        The minimum total brick cost as a Python int.
+    """
+    n_hours = len(m)
+    n_households = len(windows)
+    if n_households != len(durations):
+        raise ValueError("windows and durations must align")
+    total_units = sum(durations)
+    if total_units == 0:
+        return 0
+    if counts is None:
+        counts = [0] * n_hours
+        for hours in windows:
+            for h in hours:
+                counts[h] += 1
+
+    # Node ids: households 0..J-1, hour h -> J+h, source S, sink T.
+    source = n_households + n_hours
+    sink = source + 1
+    n_nodes = sink + 1
+    potential = [0] * n_nodes
+    hour_load = [0] * n_hours                    # bricks routed into hour h
+    assigned: List[set] = [set() for _ in range(n_households)]
+    by_hour: List[List[int]] = [[] for _ in range(n_hours)]
+    remaining = list(durations)
+    infinity = float("inf")
+
+    for _ in range(total_units):
+        dist: List = [infinity] * n_nodes
+        parent = [-1] * n_nodes
+        dist[source] = 0
+        heap: List[Tuple[int, int]] = [(0, source)]
+        while heap:
+            d, u = heapq.heappop(heap)
+            if d > dist[u]:
+                continue
+            if u == sink:
+                break
+            if u == source:
+                pi_u = potential[source]
+                for j in range(n_households):
+                    if remaining[j] > 0:
+                        nd = d + pi_u - potential[j]
+                        if nd < dist[j]:
+                            dist[j] = nd
+                            parent[j] = source
+                            heapq.heappush(heap, (nd, j))
+            elif u < n_households:
+                pi_u = potential[u]
+                taken = assigned[u]
+                for h in windows[u]:
+                    if h in taken:
+                        continue
+                    v = n_households + h
+                    nd = d + pi_u - potential[v]
+                    if nd < dist[v]:
+                        dist[v] = nd
+                        parent[v] = u
+                        heapq.heappush(heap, (nd, v))
+            else:
+                h = u - n_households
+                pi_u = potential[u]
+                if hour_load[h] < counts[h]:
+                    # Next brick slot of this hour: marginal cost.
+                    nd = d + 2 * (m[h] + hour_load[h]) + 1 + pi_u - potential[sink]
+                    if nd < dist[sink]:
+                        dist[sink] = nd
+                        parent[sink] = u
+                        heapq.heappush(heap, (nd, sink))
+                for j in by_hour[h]:            # residual: reroute j's brick
+                    nd = d + pi_u - potential[j]
+                    if nd < dist[j]:
+                        dist[j] = nd
+                        parent[j] = u
+                        heapq.heappush(heap, (nd, j))
+        d_sink = dist[sink]
+        if d_sink == infinity:  # pragma: no cover - feasible by construction
+            raise RuntimeError("brick transportation problem is infeasible")
+        for v in range(n_nodes):
+            potential[v] += d_sink if dist[v] > d_sink else dist[v]
+        # Augment one unit along the parent chain, toggling assignments.
+        v = sink
+        while v != source:
+            u = parent[v]
+            if v == sink:
+                hour_load[u - n_households] += 1
+            elif u == source:
+                remaining[v] -= 1
+            elif u < n_households:
+                h = v - n_households
+                assigned[u].add(h)
+                by_hour[h].append(u)
+            else:
+                h = u - n_households
+                assigned[v].discard(h)
+                by_hour[h].remove(v)
+            v = u
+
+    # The optimum value depends only on the final hour loads:
+    # sum_h sum_{k=1..y_h} (2*m_h + 2k - 1) = sum_h (2*m_h*y_h + y_h^2).
+    return sum(2 * mh * yh + yh * yh for mh, yh in zip(m, hour_load))
+
+
+def fast_transportation_bound(
+    loads: Sequence[float],
+    windows: Sequence[Sequence[int]],
+    durations: Sequence[int],
+    rating: float,
+    sigma: float,
+    counts: Optional[Sequence[int]] = None,
+) -> float:
+    """:func:`transportation_bound` via :func:`brick_flow_cost`.
+
+    Bit-identical to the networkx version (the flow optimum is a unique
+    integer and the float expression is unchanged), minus the graph
+    build and the network simplex.
+    """
+    base_cost = sigma * sum(load * load for load in loads)
+    total_units = sum(durations)
+    if total_units == 0:
+        return base_cost
+    m = [int(round(float(load) / rating)) for load in loads]
+    flow_cost = brick_flow_cost(m, windows, durations, counts)
+    return base_cost + sigma * rating * rating * flow_cost
 
 
 def transportation_bound(

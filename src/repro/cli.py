@@ -92,6 +92,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print full tracebacks instead of one-line error summaries",
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "run the subcommand under cProfile: print the top-25 "
+            "cumulative-time entries and write a .pstats dump next to the "
+            "--save output (or into the working directory)"
+        ),
+    )
+    parser.add_argument(
         "--days", type=int, default=None, help="simulated days per setting"
     )
     parser.add_argument(
@@ -224,12 +233,47 @@ def main(argv: Optional[List[str]] = None) -> int:
     """
     args = _build_parser().parse_args(argv)
     try:
+        if args.profile:
+            return _profiled_dispatch(args)
         return _dispatch(args)
     except ReproError as exc:
         if args.debug:
             raise
         print(f"error ({type(exc).__name__}): {exc}", file=sys.stderr)
         return exc.exit_code
+
+
+def _profile_dump_path(args: argparse.Namespace) -> str:
+    """Where the ``.pstats`` dump goes: next to the output, else the cwd."""
+    import os
+
+    anchor = args.save or args.csv
+    if anchor:
+        return os.path.splitext(anchor)[0] + ".pstats"
+    return f"{args.experiment}.pstats"
+
+
+def _profiled_dispatch(args: argparse.Namespace) -> int:
+    """Run ``_dispatch`` under cProfile (the ``--profile`` flag).
+
+    Prints the 25 heaviest entries by cumulative time — the hot-path view
+    that pointed at the allocator in the first place — and writes the raw
+    stats next to the output for later ``pstats``/``snakeviz`` digging.
+    """
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    try:
+        exit_code = profiler.runcall(_dispatch, args)
+    finally:
+        profiler.create_stats()
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.sort_stats("cumulative").print_stats(25)
+        dump_path = _profile_dump_path(args)
+        profiler.dump_stats(dump_path)
+        print(f"profile written to {dump_path}")
+    return exit_code
 
 
 def _dispatch(args: argparse.Namespace) -> int:

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..allocation.arrays import compile_problem
 from ..allocation.base import AllocationProblem, AllocationResult, Allocator
 from ..allocation.greedy import GreedyFlexibilityAllocator
 from ..allocation.random_alloc import RandomAllocator
@@ -54,8 +55,11 @@ class ArrivalOrderGreedy(GreedyFlexibilityAllocator):
         prefix = np.zeros(HOURS_PER_DAY + 1, dtype=float)
         allocation: AllocationMap = {}
         quadratic = isinstance(problem.pricing, QuadraticPricing)
+        compiled = compile_problem(problem)
         for item in order:
-            best_start = self._best_start(problem, loads, prefix, item, quadratic)
+            best_start = self._best_start(
+                problem, compiled, loads, prefix, item, quadratic
+            )
             placed = Interval(best_start, best_start + item.duration)
             allocation[item.household_id] = placed
             loads[placed.start:placed.end] += item.rating_kw

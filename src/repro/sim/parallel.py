@@ -39,6 +39,7 @@ serial mode.
 
 from __future__ import annotations
 
+import logging
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -49,6 +50,8 @@ from ..robustness.errors import WorkerFailure
 
 _P = TypeVar("_P")
 _R = TypeVar("_R")
+
+_logger = logging.getLogger(__name__)
 
 #: Sentinel meaning "use every core the machine has".
 ALL_CORES = 0
@@ -88,6 +91,13 @@ def resolve_workers(workers: Optional[int]) -> int:
         )
     if workers in (ALL_CORES, -1):
         return available_cores()
+    cores = available_cores()
+    if workers > cores:
+        _logger.warning(
+            "workers=%d exceeds the %d available core(s); effective "
+            "parallelism is %d (the OS will time-slice the rest)",
+            workers, cores, cores,
+        )
     return workers
 
 

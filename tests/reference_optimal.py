@@ -1,4 +1,9 @@
-"""Exact optimal allocator: depth-first branch and bound over deferments.
+"""Frozen pre-acceleration copy of the exact solver (test reference only).
+
+This is the seed ``BranchAndBoundAllocator`` exactly as committed before the
+SoA/incremental-kernel PR, kept so property and regression tests can assert
+the accelerated solver matches its allocations, costs, ``proven_optimal``
+verdicts and node counts.  Do not optimize this file.
 
 This stands in for the paper's IBM ILOG CPLEX V12.4 MIQP solver (Section
 VI-A).  It solves exactly the same discrete program (Eq. 2) to proven
@@ -17,53 +22,31 @@ optimality:
   and the per-household self term ``sum_j r_j**2 * v_j`` (valid because
   cross terms of integral blocks are non-negative).  If that does not prune,
   an exact capacitated water-filling bound (the fractional minimizer of the
-  whole quadratic) gets a second chance, and near the root the exact
-  transportation relaxation (windows kept, contiguity dropped) gets a third.
+  whole quadratic) gets a second chance.
 * **Symmetry breaking**: households with identical (window, duration,
   rating) are interchangeable, so their begin slots are forced to be
-  nondecreasing; a transposition table additionally cuts revisits of
-  (depth, load-profile) states already reached at equal or lower cost.
+  nondecreasing.
 * **Warm start**: the greedy allocation refined by hill climbing provides
   the initial incumbent.
 * **Anytime**: optional time and node limits return the best incumbent with
   ``proven_optimal=False`` instead of running forever, preserving the
   Figure 6 story (the exact solver's cost explodes with n) without hanging
   the harness.
-
-The search runs on the structure-of-arrays layer of
-:mod:`repro.allocation.arrays`: the problem is lowered once into a
-:class:`~repro.allocation.arrays.CompiledProblem` (begin-candidate
-prefix-sum index vectors) plus :class:`~repro.allocation.arrays.
-SuffixArrays` (per-depth bound tables), node state is a load vector
-maintained by delta on push/pop, every begin slot of the branching
-household is evaluated in one vectorized prefix-sum pass (stable-argsorted
-for best-first visitation), the transposition table keys on a byte digest
-of the load profile over the remaining support, and transportation bounds
-come from the all-integer successive-shortest-path kernel
-(:func:`~repro.allocation.relaxation.fast_transportation_bound`) behind a
-bounded LRU memo.  All of this is numerically identical to the scalar
-reference search on the paper's instances (one common power rating, loads
-exact binary floats), so incumbents, costs and node counts are preserved
-bit for bit — only the clock changes.
 """
 
 from __future__ import annotations
 
 import random
 import time
-from collections import OrderedDict
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
-import numpy as np
-
-from ..core.intervals import HOURS_PER_DAY, Interval
-from ..core.types import AllocationMap
-from ..pricing.quadratic import QuadraticPricing
-from .arrays import CompiledProblem, SuffixArrays
-from .base import AllocationItem, AllocationProblem, AllocationResult, Allocator
-from .greedy import GreedyFlexibilityAllocator
-from .local_search import improve_allocation
-from .relaxation import fast_transportation_bound, transportation_solution
+from repro.core.intervals import HOURS_PER_DAY, Interval
+from repro.core.types import AllocationMap
+from repro.pricing.quadratic import QuadraticPricing
+from repro.allocation.base import AllocationItem, AllocationProblem, AllocationResult, Allocator
+from repro.allocation.greedy import GreedyFlexibilityAllocator
+from repro.allocation.local_search import improve_allocation
+from repro.allocation.relaxation import transportation_bound, transportation_solution
 
 #: How many nodes between time-limit checks.
 _TIME_CHECK_STRIDE = 512
@@ -74,9 +57,6 @@ _TRANSPORT_DEPTH = 2
 #: Slack subtracted from bounds before pruning, guarding float drift.
 _EPS = 1e-9
 
-#: Entries kept in the memoized transportation-bound LRU.
-_TRANSPORT_CACHE_SIZE = 4096
-
 
 class SearchBudgetExceeded(Exception):
     """Internal signal: stop the search and keep the incumbent."""
@@ -86,7 +66,7 @@ class IncumbentMatchesBound(Exception):
     """Internal signal: the incumbent met the root bound; search is over."""
 
 
-class BranchAndBoundAllocator(Allocator):
+class ReferenceBranchAndBoundAllocator(Allocator):
     """Exact MIQP solver for Eq. 2 (see module docstring).
 
     Args:
@@ -101,7 +81,7 @@ class BranchAndBoundAllocator(Allocator):
             deterministic.
     """
 
-    name = "optimal-bnb"
+    name = "optimal-bnb-reference"
 
     def __init__(
         self,
@@ -153,11 +133,65 @@ class BranchAndBoundAllocator(Allocator):
         )
         n = len(items)
 
-        # Lower the branch order into flat arrays once; every bound table
-        # and begin-candidate index vector below is derived from this.
-        compiled = CompiledProblem.from_items(items, problem.pricing)
-        suffix = SuffixArrays.from_compiled(compiled)
-        uniform_rating = compiled.uniform_rating()
+        # Suffix data for the bounds, per depth k (households k..n-1 remain):
+        #   energy R_k, per-hour capacity, support hours, support size and
+        #   the integral self term sum_j r_j^2 v_j.
+        suffix_energy = [0.0] * (n + 1)
+        suffix_self = [0.0] * (n + 1)
+        suffix_caps: List[List[float]] = [[0.0] * HOURS_PER_DAY for _ in range(n + 1)]
+        for k in range(n - 1, -1, -1):
+            item = items[k]
+            suffix_energy[k] = suffix_energy[k + 1] + item.energy_kwh
+            suffix_self[k] = suffix_self[k + 1] + item.rating_kw**2 * item.duration
+            caps = list(suffix_caps[k + 1])
+            for h in range(item.window.start, item.window.end):
+                caps[h] += item.rating_kw
+            suffix_caps[k] = caps
+        suffix_support: List[List[int]] = [
+            [h for h in range(HOURS_PER_DAY) if caps[h] > 0.0] for caps in suffix_caps
+        ]
+
+        # Integral relaxation data: when every rating is equal, any feasible
+        # completion is a set of 1-hour bricks of height r — suffix_units
+        # bricks in total, at most suffix_counts[k][h] of them in hour h
+        # (one per remaining household covering h).
+        uniform_rating: Optional[float] = items[0].rating_kw
+        if any(item.rating_kw != uniform_rating for item in items):
+            uniform_rating = None
+        suffix_units = [0] * (n + 1)
+        suffix_counts: List[List[int]] = [[0] * HOURS_PER_DAY for _ in range(n + 1)]
+        for k in range(n - 1, -1, -1):
+            item = items[k]
+            suffix_units[k] = suffix_units[k + 1] + item.duration
+            counts = list(suffix_counts[k + 1])
+            for h in range(item.window.start, item.window.end):
+                counts[h] += 1
+            suffix_counts[k] = counts
+
+        # Pairwise minimum-overlap floor on the cross terms of sum(X**2):
+        # two blocks of lengths v, v' confined to the hull of their windows
+        # (length L) overlap at least v + v' - L hours, whatever happens.
+        suffix_cross = [0.0] * (n + 1)
+        for k in range(n - 1, -1, -1):
+            item = items[k]
+            pair_sum = 0.0
+            for other in items[k + 1:]:
+                hull = max(item.window.end, other.window.end) - min(
+                    item.window.start, other.window.start
+                )
+                forced = item.duration + other.duration - hull
+                if forced > 0:
+                    pair_sum += item.rating_kw * other.rating_kw * forced
+            suffix_cross[k] = suffix_cross[k + 1] + pair_sum
+
+        # Same-spec predecessor index for symmetry breaking.
+        same_as_prev = [
+            k > 0
+            and items[k].window == items[k - 1].window
+            and items[k].duration == items[k - 1].duration
+            and items[k].rating_kw == items[k - 1].rating_kw
+            for k in range(n)
+        ]
 
         # Warm-start incumbent.
         incumbent: Optional[List[int]] = None
@@ -169,10 +203,17 @@ class BranchAndBoundAllocator(Allocator):
             incumbent_cost = problem.cost(seed_alloc)
 
         state = _SearchState(
-            compiled=compiled,
-            suffix=suffix,
+            items=items,
             sigma=sigma,
+            suffix_energy=suffix_energy,
+            suffix_self=suffix_self,
+            suffix_cross=suffix_cross,
+            suffix_caps=suffix_caps,
+            suffix_support=suffix_support,
+            suffix_units=suffix_units,
+            suffix_counts=suffix_counts,
             uniform_rating=uniform_rating,
+            same_as_prev=same_as_prev,
             incumbent=incumbent,
             incumbent_cost=incumbent_cost,
             gap=self.gap,
@@ -185,30 +226,19 @@ class BranchAndBoundAllocator(Allocator):
         # kept, contiguity dropped) often matches the warm-start incumbent
         # to within one cost quantum, proving optimality with zero search.
         root_lower_bound: Optional[float] = None
-        root_bound_matched = False
         if uniform_rating is not None and incumbent is not None:
-            root_lower_bound = fast_transportation_bound(
+            root_lower_bound, bricks = transportation_solution(
                 loads=[0.0] * HOURS_PER_DAY,
-                windows=state.tail_windows(0),
-                durations=state.tail_durations(0),
+                windows=[list(range(it.window.start, it.window.end)) for it in items],
+                durations=[it.duration for it in items],
                 rating=uniform_rating,
                 sigma=sigma,
-                counts=state.tail_counts(0),
             )
             quantum = sigma * uniform_rating * uniform_rating
             if root_lower_bound < incumbent_cost - quantum + 1e-6:
-                # The certificate missed: extract one particular optimal
-                # brick assignment (the flow value is unique, the flow is
-                # not) and round it into a second warm start: give each
-                # household the contiguous block covering the most of its
-                # relaxed brick hours, then hill-climb.
-                _, bricks = transportation_solution(
-                    loads=[0.0] * HOURS_PER_DAY,
-                    windows=state.tail_windows(0),
-                    durations=state.tail_durations(0),
-                    rating=uniform_rating,
-                    sigma=sigma,
-                )
+                # Round the relaxed solution into a second warm start: give
+                # each household the contiguous block covering the most of
+                # its relaxed brick hours, then hill-climb.
                 rounded: AllocationMap = {}
                 for item, hours in zip(items, bricks):
                     best_start, best_overlap = item.window.start, -1
@@ -235,17 +265,13 @@ class BranchAndBoundAllocator(Allocator):
                     item.household_id: Interval(start, start + item.duration)
                     for item, start in zip(items, incumbent)
                 }
-                # The root evaluation is one node's work; report it so the
-                # bench row distinguishes "certified at the root" from
-                # "never ran".
                 return self._finish(
                     problem,
                     allocation,
                     started_at,
                     proven_optimal=True,
-                    nodes_explored=1,
+                    nodes_explored=0,
                     lower_bound=root_lower_bound,
-                    root_bound_matched=True,
                 )
 
         state.root_lower_bound = root_lower_bound
@@ -255,7 +281,7 @@ class BranchAndBoundAllocator(Allocator):
         except SearchBudgetExceeded:
             proven = False
         except IncumbentMatchesBound:
-            root_bound_matched = True
+            pass
 
         if state.incumbent is None:
             raise RuntimeError("branch and bound ended without any feasible incumbent")
@@ -270,36 +296,42 @@ class BranchAndBoundAllocator(Allocator):
             proven_optimal=proven,
             nodes_explored=state.nodes,
             lower_bound=state.incumbent_cost if proven else root_lower_bound,
-            root_bound_matched=root_bound_matched,
         )
 
 
 class _SearchState:
-    """Mutable depth-first search state shared across recursion frames.
-
-    All per-depth tables come pre-lowered from :class:`SuffixArrays`; the
-    per-node work is one ``np.array`` of the 24-hour load list plus a
-    handful of vectorized kernels over it.
-    """
+    """Mutable depth-first search state shared across recursion frames."""
 
     def __init__(
         self,
-        compiled: CompiledProblem,
-        suffix: SuffixArrays,
+        items: List[AllocationItem],
         sigma: float,
+        suffix_energy: List[float],
+        suffix_self: List[float],
+        suffix_cross: List[float],
+        suffix_caps: List[List[float]],
+        suffix_support: List[List[int]],
+        suffix_units: List[int],
+        suffix_counts: List[List[int]],
         uniform_rating: Optional[float],
+        same_as_prev: List[bool],
         incumbent: Optional[List[int]],
         incumbent_cost: float,
         gap: float,
         deadline: Optional[float],
         node_limit: Optional[int],
     ) -> None:
-        n = len(compiled)
-        self._n = n
-        self.compiled = compiled
+        self.items = items
         self.sigma = sigma
+        self.suffix_energy = suffix_energy
+        self.suffix_self = suffix_self
+        self.suffix_cross = suffix_cross
+        self.suffix_caps = suffix_caps
+        self.suffix_support = suffix_support
+        self.suffix_units = suffix_units
+        self.suffix_counts = suffix_counts
         self.uniform_rating = uniform_rating
-        self.same_as_prev = suffix.same_as_prev
+        self.same_as_prev = same_as_prev
         self.incumbent = list(incumbent) if incumbent is not None else None
         self.incumbent_cost = incumbent_cost
         self.gap = gap
@@ -310,81 +342,18 @@ class _SearchState:
         # Transposition table: the best completion from a node depends only
         # on (depth, loads over the hours the remaining windows can touch),
         # so arriving at a seen state at equal-or-higher cost is futile.
-        # Keys are byte digests of the support load vector.
         self.table: dict = {}
         self.quantum = (
             sigma * uniform_rating * uniform_rating
             if uniform_rating is not None
             else 0.0
         )
-        # Item scalars as plain Python lists: scalar indexing in the hot
-        # push/pop loop beats numpy item access.
-        self._win_start = compiled.win_start.tolist()
-        self._win_end = compiled.win_end.tolist()
-        self._duration = compiled.duration.tolist()
-        self._rating = compiled.rating.tolist()
-        # Bound tables (Python floats where the search does scalar math).
-        self.suffix_energy = suffix.energy.tolist()
-        self.suffix_self = suffix.self_term.tolist()
-        self.suffix_cross = suffix.cross.tolist()
-        self.suffix_units = suffix.units.tolist()
-        self._support = suffix.support_index
-        self._sup_caps = tuple(
-            suffix.caps[k][suffix.support_index[k]] for k in range(n + 1)
-        )
-        sup_counts = tuple(
-            suffix.counts[k][suffix.support_index[k]] for k in range(n + 1)
-        )
-        # Integral water-filling grids: per depth, the loads-independent
-        # brick-step offsets (k-th extra brick in an hour costs k more
-        # doubled-rating² steps) and the validity mask (hour h offers
-        # counts[h] bricks).  At bound time only the first column (the
-        # current marginals) changes.
-        self._brick_steps: Tuple[np.ndarray, ...] = ()
-        self._brick_mask: Tuple[np.ndarray, ...] = ()
-        if uniform_rating is not None:
-            r = uniform_rating
-            self._two_r = 2.0 * r
-            self._r2 = r * r
-            two_r2 = 2.0 * r * r
-            steps_list = []
-            mask_list = []
-            for k in range(n + 1):
-                counts = sup_counts[k]
-                max_count = int(counts.max()) if counts.size else 0
-                steps_list.append(two_r2 * np.arange(max_count, dtype=np.float64))
-                mask_list.append(
-                    np.arange(max_count, dtype=np.intp)[None, :] < counts[:, None]
-                )
-            self._brick_steps = tuple(steps_list)
-            self._brick_mask = tuple(mask_list)
-        # Transportation-relaxation inputs for the depths allowed to
-        # consult it, plus the bounded LRU memo over load digests.
-        self._tail_windows: Dict[int, List[List[int]]] = {}
-        self._tail_durations: Dict[int, List[int]] = {}
-        self._tail_counts: Dict[int, List[int]] = {}
-        for k in range(min(_TRANSPORT_DEPTH, n) + 1):
-            self._tail_windows[k] = [
-                list(range(self._win_start[i], self._win_end[i]))
-                for i in range(k, n)
-            ]
-            self._tail_durations[k] = [self._duration[i] for i in range(k, n)]
-            self._tail_counts[k] = suffix.counts[k].tolist()
-        self._transport_cache: "OrderedDict[tuple, float]" = OrderedDict()
-        # Scratch prefix-sum buffer for the per-node candidate evaluation.
-        self._prefix = np.zeros(HOURS_PER_DAY + 1, dtype=np.float64)
-
-    def tail_windows(self, depth: int) -> List[List[int]]:
-        """Remaining households' window hour lists from ``depth`` on."""
-        return self._tail_windows[depth]
-
-    def tail_durations(self, depth: int) -> List[int]:
-        """Remaining households' durations from ``depth`` on."""
-        return self._tail_durations[depth]
-
-    def tail_counts(self, depth: int) -> List[int]:
-        """Per-hour count of remaining households covering each hour."""
-        return self._tail_counts[depth]
+        # Unpack item attributes into parallel lists: attribute access in
+        # the hot loop is measurably slower than list indexing.
+        self._win_start = [item.window.start for item in items]
+        self._win_end = [item.window.end for item in items]
+        self._duration = [item.duration for item in items]
+        self._rating = [item.rating_kw for item in items]
 
     def _prune_threshold(self) -> float:
         """Bounds at or above this cannot improve enough to matter.
@@ -408,68 +377,32 @@ class _SearchState:
         ):
             raise SearchBudgetExceeded
 
-    def _transport_bound(self, loads: List[float], loads_arr: np.ndarray,
-                         depth: int) -> float:
-        """Memoized exact transportation relaxation from this node.
-
-        The bound depends only on (depth, load profile); identical states
-        reached along different branches (and the plateaus the quantum
-        pruning walks) hit the LRU instead of re-solving the flow.
-        """
-        key = (depth, loads_arr.tobytes())
-        cache = self._transport_cache
-        value = cache.get(key)
-        if value is not None:
-            cache.move_to_end(key)
-            return value
-        value = fast_transportation_bound(
-            loads=list(loads),
-            windows=self._tail_windows[depth],
-            durations=self._tail_durations[depth],
-            rating=self.uniform_rating,
-            sigma=self.sigma,
-            counts=self._tail_counts[depth],
-        )
-        cache[key] = value
-        if len(cache) > _TRANSPORT_CACHE_SIZE:
-            cache.popitem(last=False)
-        return value
-
-    def _bound(
-        self, loads: List[float], loads_arr: np.ndarray, cost: float, depth: int
-    ) -> float:
+    def _bound(self, loads: List[float], cost: float, depth: int) -> float:
         """Lower bound on the best completion cost from this node.
 
         First the cheap combined bound (exact linear fill + integral floors
-        on ``sum(X**2)``); if that fails to prune, the integral
-        water-filling bound (uniform ratings) or the exact capacitated
-        water-filling relaxation; near the root, the memoized
-        transportation relaxation as a last resort.
+        on ``sum(X**2)``); only if that fails to prune does the exact
+        capacitated water-filling relaxation run.
         """
         energy = self.suffix_energy[depth]
         if energy <= 0.0:
             return cost
         sigma = self.sigma
-        support = self._support[depth]
-        sup_loads = loads_arr[support]
-        sup_caps = self._sup_caps[depth]
+        caps = self.suffix_caps[depth]
+        support = self.suffix_support[depth]
 
         # Exact minimum of the linear term: fill cheapest hours first.
-        # lexsort (loads primary, caps secondary) + prefix cumsum replaces
-        # the scalar sorted-tuple accumulation with identical arithmetic.
-        order = np.lexsort((sup_caps, sup_loads))
-        sorted_loads = sup_loads[order]
-        sorted_caps = sup_caps[order]
-        cum_caps = np.cumsum(sorted_caps)
-        cut = int(np.searchsorted(cum_caps, energy))
-        if cut >= sorted_caps.size:
-            linear = float(np.dot(sorted_loads, sorted_caps))
-        else:
-            taken = float(cum_caps[cut - 1]) if cut else 0.0
-            linear = float(np.dot(sorted_loads[:cut], sorted_caps[:cut]))
-            linear += float(sorted_loads[cut]) * (energy - taken)
+        hours = sorted((loads[h], caps[h]) for h in support)
+        linear = 0.0
+        remaining = energy
+        for load, cap in hours:
+            take = cap if cap < remaining else remaining
+            linear += load * take
+            remaining -= take
+            if remaining <= 0.0:
+                break
         x_square_floor = max(
-            energy * energy / support.size,
+            energy * energy / len(support),
             self.suffix_self[depth] + 2.0 * self.suffix_cross[depth],
         )
         cheap = cost + sigma * (2.0 * linear + x_square_floor)
@@ -479,31 +412,51 @@ class _SearchState:
         if self.uniform_rating is not None:
             # Integral water-filling: with one common rating r, any feasible
             # completion is a multiset of 1-hour height-r bricks, at most one
-            # per (remaining household covering h, hour h).  Taking the
-            # cheapest marginal bricks is exact for this separable convex
-            # relaxation; the cheapest-units selection over the precomputed
-            # marginal grid is one partition instead of a units-long scan.
-            marginals = self._two_r * sup_loads + self._r2
-            grid = marginals[:, None] + self._brick_steps[depth][None, :]
-            values = grid[self._brick_mask[depth]]
-            units = self.suffix_units[depth]
-            if units < values.size:
-                values = np.partition(values, units - 1)[:units]
-            integral = cost + sigma * float(values.sum())
+            # per (remaining household covering h, hour h).  Greedily taking
+            # the cheapest marginal brick is exact for this separable convex
+            # relaxation and already includes every r**2 self term, making it
+            # far tighter than the fractional bound.
+            rating = self.uniform_rating
+            two_r = 2.0 * rating
+            two_r2 = 2.0 * rating * rating
+            counts = self.suffix_counts[depth]
+            marginals = [
+                two_r * loads[h] + rating * rating if counts[h] else float("inf")
+                for h in range(len(loads))
+            ]
+            remaining_counts = list(counts)
+            acc = 0.0
+            for _ in range(self.suffix_units[depth]):
+                h = min(range(len(marginals)), key=marginals.__getitem__)
+                acc += marginals[h]
+                remaining_counts[h] -= 1
+                if remaining_counts[h] == 0:
+                    marginals[h] = float("inf")
+                else:
+                    marginals[h] += two_r2
+            integral = cost + sigma * acc
             best = integral if integral > cheap else cheap
             if best >= self._prune_threshold() or depth > _TRANSPORT_DEPTH:
                 return best
             # Last resort near the root: the exact transportation
-            # relaxation (windows kept, contiguity dropped); memoized, and
-            # orders of magnitude cheaper than the old network simplex.
-            transport = self._transport_bound(loads, loads_arr, depth)
+            # relaxation (windows kept, contiguity dropped).  Expensive
+            # (~tens of ms) but it can close subtrees no cheaper bound can.
+            items = self.items[depth:]
+            transport = transportation_bound(
+                loads=list(loads),
+                windows=[
+                    list(range(it.window.start, it.window.end)) for it in items
+                ],
+                durations=[it.duration for it in items],
+                rating=rating,
+                sigma=sigma,
+            )
             return transport if transport > best else best
 
         # Exact capacitated water-filling: the fractional minimizer of
         # 2*sum(l*x) + sum(x**2) subject to sum(x) = R, 0 <= x <= c.
         # Sweep the water level through its breakpoints (hour activates at
         # l_h, saturates at l_h + c_h); volume grows linearly in between.
-        hours = sorted(zip(sup_loads.tolist(), sup_caps.tolist()))
         events: List[Tuple[float, float]] = []
         for load, cap in hours:
             events.append((load, 1.0))
@@ -543,7 +496,7 @@ class _SearchState:
         self.nodes += 1
         self._check_budget()
 
-        if depth == self._n:
+        if depth == len(self.items):
             if cost < self.incumbent_cost - 1e-12:
                 self.incumbent_cost = cost
                 self.incumbent = list(starts)
@@ -556,11 +509,10 @@ class _SearchState:
                     raise IncumbentMatchesBound
             return
 
-        loads_arr = np.array(loads)
-        if self._bound(loads, loads_arr, cost, depth) >= self._prune_threshold():
+        if self._bound(loads, cost, depth) >= self._prune_threshold():
             return
 
-        key = (depth, loads_arr[self._support[depth]].tobytes())
+        key = (depth, tuple(loads[h] for h in self.suffix_support[depth]))
         seen = self.table.get(key)
         if seen is not None and seen <= cost + 1e-9:
             return
@@ -570,39 +522,37 @@ class _SearchState:
 
         rating = self._rating[depth]
         duration = self._duration[depth]
-        win_start = self._win_start[depth]
-        min_start = win_start
+        min_start = self._win_start[depth]
         if self.same_as_prev[depth]:
             prev = starts[depth - 1]
             if prev > min_start:
                 min_start = prev
+        last_start = self._win_end[depth] - duration
 
-        # Marginal cost of every placement in one vectorized pass: each
-        # candidate block's existing-load sum is a prefix-sum delta via the
-        # compiled begin-candidate index vectors; a stable argsort visits
-        # children cheapest-first (ties by earlier start, as before).
-        prefix = self._prefix
-        np.cumsum(loads_arr, out=prefix[1:])
-        starts_idx = self.compiled.start_index[depth]
-        ends_idx = self.compiled.end_index[depth]
-        offset = min_start - win_start
-        if offset:
-            starts_idx = starts_idx[offset:]
-            ends_idx = ends_idx[offset:]
-        self_term = self.sigma * rating * rating * duration
+        # Marginal cost of each placement via a sliding-window block sum;
+        # visit children cheapest-first so good incumbents arrive early.
+        self_term = sigma_rr = self.sigma * rating * rating * duration
         two_sigma_r = 2.0 * self.sigma * rating
-        deltas = two_sigma_r * (prefix[ends_idx] - prefix[starts_idx]) + self_term
-        order = np.argsort(deltas, kind="stable")
-        deltas_list = deltas.tolist()
+        block_load = 0.0
+        for h in range(min_start, min_start + duration):
+            block_load += loads[h]
+        candidates: List[Tuple[float, int]] = []
+        start = min_start
+        while True:
+            candidates.append((two_sigma_r * block_load + self_term, start))
+            if start == last_start:
+                break
+            block_load += loads[start + duration] - loads[start]
+            start += 1
+        candidates.sort()
 
         threshold = self._prune_threshold()
-        for child in order.tolist():
-            child_cost = cost + deltas_list[child]
+        for delta, start in candidates:
+            child_cost = cost + delta
             if child_cost >= threshold:
                 # Children are sorted by delta and any completion only adds
                 # cost, so later siblings cannot win either.
                 break
-            start = min_start + child
             for h in range(start, start + duration):
                 loads[h] += rating
             starts[depth] = start

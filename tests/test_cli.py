@@ -37,3 +37,35 @@ class TestCli:
     def test_tab2_with_seed(self, capsys):
         assert main(["tab2", "--seed", "5"]) == 0
         assert "Overall" in capsys.readouterr().out
+
+
+class TestProfileFlag:
+    def test_profile_prints_stats_and_writes_pstats(self, capsys, tmp_path):
+        save = tmp_path / "fig4.txt"
+        code = main(
+            [
+                "fig4",
+                "--profile",
+                "--populations", "5",
+                "--days", "1",
+                "--time-limit", "2.0",
+                "--save", str(save),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cumulative" in out  # the pstats header of the top-25 table
+        dump = tmp_path / "fig4.pstats"
+        assert dump.exists()
+        # The dump must be loadable for later digging.
+        import pstats
+
+        stats = pstats.Stats(str(dump))
+        assert stats.total_calls > 0
+
+    def test_profile_dump_lands_in_cwd_without_save(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        assert main(["list", "--profile"]) == 0
+        assert (tmp_path / "list.pstats").exists()

@@ -10,6 +10,7 @@ from repro.core.types import HouseholdType, Neighborhood, Preference, Report
 from repro.io.csvout import rows_to_csv, table_text_to_csv, write_csv
 from repro.io.serialize import (
     SerializationError,
+    day_outcome_from_dict,
     day_outcome_to_dict,
     household_from_dict,
     household_to_dict,
@@ -100,6 +101,18 @@ class TestFiles:
             outcome.settlement.total_cost
         )
         assert len(document["settlement"]["load_profile"]) == 24
+
+    def test_root_bound_matched_round_trips(self, small_random_neighborhood):
+        outcome = EnkiMechanism(seed=0).run_day(small_random_neighborhood)
+        document = day_outcome_to_dict(outcome)
+        assert document["allocator"]["root_bound_matched"] in (True, False)
+        document["allocator"]["root_bound_matched"] = True
+        restored = day_outcome_from_dict(document)
+        assert restored.allocation_result.root_bound_matched is True
+        # Pre-acceleration archives lack the key and default to False.
+        del document["allocator"]["root_bound_matched"]
+        restored = day_outcome_from_dict(document)
+        assert restored.allocation_result.root_bound_matched is False
 
 
 class TestCsv:

@@ -146,6 +146,20 @@ class TestWorkerPlumbing:
         assert resolve_workers(0) == available_cores()
         assert resolve_workers(-1) == available_cores()
 
+    def test_resolve_workers_warns_on_oversubscription(self, caplog):
+        cores = available_cores()
+        with caplog.at_level("WARNING", logger="repro.sim.parallel"):
+            assert resolve_workers(cores + 3) == cores + 3
+        assert any(
+            "exceeds" in record.getMessage() for record in caplog.records
+        ), "oversubscribed workers should log a one-line warning"
+
+    def test_resolve_workers_silent_within_core_count(self, caplog):
+        with caplog.at_level("WARNING", logger="repro.sim.parallel"):
+            resolve_workers(1)
+            resolve_workers(available_cores())
+        assert not caplog.records
+
     def test_map_tasks_preserves_order(self):
         payloads = list(range(12))
         assert map_tasks(_double, payloads, workers=1) == [2 * x for x in payloads]
