@@ -1,0 +1,80 @@
+"""Benchmarks for the columnar (structure-of-arrays) large-n fast path.
+
+The object path tops out around a few hundred households per second of
+allocation; the columnar path is the large-n story — these benches record
+the full sampled-allocated-settled day at n = 1k / 10k / 100k plus the
+bare greedy kernel at 100k into ``BENCH_core.json``, the trajectory the
+scaling table in ``docs/performance.md`` is transcribed from.  The
+n = 100k day carries the ISSUE's acceptance budget: under 5 seconds.
+"""
+
+import random
+
+import numpy as np
+
+from repro.allocation.greedy import GreedyFlexibilityAllocator
+from repro.core.columnar import ColumnarReports
+from repro.core.mechanism import EnkiMechanism
+from repro.pricing.quadratic import QuadraticPricing
+from repro.sim.profiles import ProfileGenerator
+
+from conftest import time_call
+
+#: The ISSUE's acceptance budget for the full n = 100k day, in seconds.
+_DAY_N100K_BUDGET_S = 5.0
+
+
+def _columnar_day(n_households, seed=2017):
+    """One full day: sample the population, allocate greedily, settle."""
+    rng = np.random.default_rng(seed)
+    cols = ProfileGenerator().sample_population_columnar(rng, n_households)
+    neighborhood = cols.to_neighborhood("wide")
+    mechanism = EnkiMechanism(seed=seed)
+    return mechanism.run_day_columnar(neighborhood, rng=random.Random(seed))
+
+
+def _record_day(bench_json, name, n_households, repeats):
+    seconds = time_call(lambda: _columnar_day(n_households), repeats=repeats)
+    bench_json(name, seconds=seconds, n_households=n_households)
+    return seconds
+
+
+def test_bench_day_n1k(bench_json):
+    seconds = _record_day(bench_json, "day_n1k", 1_000, repeats=5)
+    assert seconds < _DAY_N100K_BUDGET_S
+
+
+def test_bench_day_n10k(bench_json):
+    seconds = _record_day(bench_json, "day_n10k", 10_000, repeats=5)
+    assert seconds < _DAY_N100K_BUDGET_S
+
+
+def test_bench_day_n100k(bench_json):
+    """The acceptance bench: a full 100k-household day in under 5 s."""
+    seconds = _record_day(bench_json, "day_n100k", 100_000, repeats=3)
+    assert seconds < _DAY_N100K_BUDGET_S, (
+        f"columnar day at n=100k took {seconds:.2f}s, over the "
+        f"{_DAY_N100K_BUDGET_S}s acceptance budget"
+    )
+
+
+def test_bench_greedy_solve_n100k(bench_json):
+    """The bare vectorized greedy kernel at n = 100k (no sampling/settle)."""
+    n = 100_000
+    cols = ProfileGenerator().sample_population_columnar(
+        np.random.default_rng(2017), n
+    )
+    neighborhood = cols.to_neighborhood("wide")
+    pricing = QuadraticPricing()
+    compiled = ColumnarReports.truthful(neighborhood).compile(
+        neighborhood, pricing
+    )
+    allocator = GreedyFlexibilityAllocator()
+    seconds = time_call(
+        lambda: allocator.solve_columnar(compiled, pricing, random.Random(0)),
+        repeats=3,
+    )
+    bench_json("greedy_solve_n100k", seconds=seconds, n_households=n)
+    result = allocator.solve_columnar(compiled, pricing, random.Random(0))
+    assert bool(np.all(result.starts >= compiled.win_start))
+    assert bool(np.all(result.starts + compiled.duration <= compiled.win_end))

@@ -116,3 +116,40 @@ def test_bench_bnb_n30_smoke(benchmark):
         f"bnb_solve_n30 took {best:.4f}s, more than "
         f"{_BNB_REGRESSION_FACTOR}x the committed {committed:.4f}s"
     )
+
+
+def test_bench_day_n10k_smoke(benchmark):
+    """Perf-smoke gate for the columnar path: a full 10k-household day.
+
+    Fails when the sampled-allocated-settled columnar day regresses more
+    than 2x over the committed ``day_n10k`` trajectory — the same loose
+    threshold as the B&B gate, catching the "a per-household loop crept
+    back in" class of regression.
+    """
+    from repro.core.mechanism import EnkiMechanism
+    from repro.sim.profiles import ProfileGenerator
+
+    def _day():
+        cols = ProfileGenerator().sample_population_columnar(
+            np.random.default_rng(2017), 10_000
+        )
+        neighborhood = cols.to_neighborhood("wide")
+        return EnkiMechanism(seed=2017).run_day_columnar(
+            neighborhood, rng=random.Random(2017)
+        )
+
+    outcome = benchmark(_day)
+    assert outcome.settlement.total_cost > 0
+
+    committed = json.loads(_BENCH_JSON.read_text())["benchmarks"][
+        "day_n10k"
+    ]["seconds"]
+    best = float("inf")
+    for _ in range(5):
+        started = time.perf_counter()
+        _day()
+        best = min(best, time.perf_counter() - started)
+    assert best <= _BNB_REGRESSION_FACTOR * committed, (
+        f"day_n10k took {best:.4f}s, more than "
+        f"{_BNB_REGRESSION_FACTOR}x the committed {committed:.4f}s"
+    )

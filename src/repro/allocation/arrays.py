@@ -40,15 +40,22 @@ from .base import AllocationItem, AllocationProblem
 class CompiledProblem:
     """An allocation problem lowered to flat numpy arrays.
 
-    Arrays are parallel to ``items`` (one row per household, in the order
-    given at compile time).  ``start_index[i]``/``end_index[i]`` hold the
+    Arrays are parallel to the households (one row each, in the order given
+    at compile time).  ``start_index[i]``/``end_index[i]`` hold the
     feasible begin slots of item ``i`` and their block ends, so the sum of
     an existing load profile under every candidate block of item ``i`` is
     ``prefix[end_index[i]] - prefix[start_index[i]]`` for a maintained
     prefix-sum vector ``prefix`` (one vectorized subtraction per item).
+
+    ``items`` is populated by :meth:`from_items` (the object path); the
+    columnar path (:meth:`from_arrays`) leaves it empty and carries only
+    the ``ids`` vector — consumers that need ``AllocationItem`` objects
+    should go through
+    :func:`repro.allocation.base.problem_from_compiled`.
     """
 
     items: Tuple[AllocationItem, ...]
+    ids: Tuple[HouseholdId, ...]
     sigma: Optional[float]
     win_start: np.ndarray
     win_end: np.ndarray
@@ -81,6 +88,7 @@ class CompiledProblem:
         sigma = pricing.sigma if isinstance(pricing, QuadraticPricing) else None
         return cls(
             items=tuple(items),
+            ids=tuple(it.household_id for it in items),
             sigma=sigma,
             win_start=win_start,
             win_end=win_end,
@@ -93,8 +101,66 @@ class CompiledProblem:
             index_of={it.household_id: i for i, it in enumerate(items)},
         )
 
+    @classmethod
+    def from_arrays(
+        cls,
+        ids: Sequence[HouseholdId],
+        win_start: np.ndarray,
+        win_end: np.ndarray,
+        duration: np.ndarray,
+        rating: np.ndarray,
+        pricing=None,
+    ) -> "CompiledProblem":
+        """Lower parallel household arrays directly, skipping the objects.
+
+        The columnar fast path: no ``AllocationItem``/``Report`` objects
+        are materialized.  The per-item begin-candidate index vectors are
+        built as views into one flat ``arange`` (one vectorized pass plus
+        an O(n) split), so compiling 100k households costs milliseconds,
+        not a Python loop over 100k windows.
+        """
+        win_start = np.ascontiguousarray(win_start, dtype=np.intp)
+        win_end = np.ascontiguousarray(win_end, dtype=np.intp)
+        duration = np.ascontiguousarray(duration, dtype=np.intp)
+        rating = np.ascontiguousarray(rating, dtype=np.float64)
+        n = win_start.shape[0]
+        n_placements = win_end - win_start - duration + 1
+        if n and int(n_placements.min()) < 1:
+            bad = int(np.argmin(n_placements))
+            raise ValueError(
+                f"window [{int(win_start[bad])}, {int(win_end[bad])}) cannot "
+                f"fit duration {int(duration[bad])} (household {ids[bad]!r})"
+            )
+        # All items' begin slots as one flat vector, then per-item views.
+        bounds = np.cumsum(n_placements)
+        total = int(bounds[-1]) if n else 0
+        flat = (
+            np.arange(total, dtype=np.intp)
+            - np.repeat(bounds - n_placements, n_placements)
+            + np.repeat(win_start, n_placements)
+        )
+        flat_ends = flat + np.repeat(duration, n_placements)
+        start_index = tuple(np.split(flat, bounds[:-1]))
+        end_index = tuple(np.split(flat_ends, bounds[:-1]))
+        sigma = pricing.sigma if isinstance(pricing, QuadraticPricing) else None
+        ids = tuple(ids)
+        return cls(
+            items=(),
+            ids=ids,
+            sigma=sigma,
+            win_start=win_start,
+            win_end=win_end,
+            duration=duration,
+            rating=rating,
+            n_placements=n_placements,
+            energy=rating * duration,
+            start_index=start_index,
+            end_index=end_index,
+            index_of={hid: i for i, hid in enumerate(ids)},
+        )
+
     def __len__(self) -> int:
-        return len(self.items)
+        return len(self.ids)
 
     def block_sums(self, prefix: np.ndarray, i: int) -> np.ndarray:
         """Existing-load sum under every candidate block of item ``i``.
@@ -114,7 +180,7 @@ class CompiledProblem:
 
     def uniform_rating(self) -> Optional[float]:
         """The common power rating, or ``None`` if ratings differ."""
-        if len(self.items) == 0:
+        if self.rating.size == 0:
             return None
         first = float(self.rating[0])
         if np.all(self.rating == first):
@@ -195,13 +261,16 @@ class SuffixArrays:
         else:
             cross = np.zeros(1)
 
-        same_as_prev = tuple(
-            k > 0
-            and compiled.items[k].window == compiled.items[k - 1].window
-            and compiled.items[k].duration == compiled.items[k - 1].duration
-            and compiled.items[k].rating_kw == compiled.items[k - 1].rating_kw
-            for k in range(n)
-        )
+        if n:
+            same = (
+                (compiled.win_start[1:] == compiled.win_start[:-1])
+                & (compiled.win_end[1:] == compiled.win_end[:-1])
+                & (compiled.duration[1:] == compiled.duration[:-1])
+                & (compiled.rating[1:] == compiled.rating[:-1])
+            )
+            same_as_prev = (False,) + tuple(same.tolist())
+        else:
+            same_as_prev = ()
         support_index = tuple(
             np.flatnonzero(caps[k] > 0.0) for k in range(n + 1)
         )

@@ -12,7 +12,9 @@ import abc
 import random
 import time
 from dataclasses import dataclass
-from typing import Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Mapping, Optional, Tuple
+
+import numpy as np
 
 from ..core.intervals import Interval
 from ..core.types import (
@@ -23,6 +25,9 @@ from ..core.types import (
 )
 from ..pricing.base import PricingModel
 from ..pricing.load_profile import LoadProfile
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from .arrays import CompiledProblem
 
 
 @dataclass(frozen=True)
@@ -148,6 +153,76 @@ class AllocationResult:
     root_bound_matched: bool = False
 
 
+@dataclass
+class ColumnarAllocationResult:
+    """An allocator's answer on the columnar path: begin slots as a vector.
+
+    ``starts[i]`` is the begin slot of the household at row ``i`` of the
+    compiled problem; no per-household ``Interval`` objects are built.
+    :meth:`to_result` bridges back to :class:`AllocationResult` when a
+    consumer needs the dict-of-intervals form.
+    """
+
+    starts: np.ndarray
+    cost: float
+    wall_time_s: float
+    proven_optimal: bool = False
+    nodes_explored: int = 0
+    lower_bound: Optional[float] = None
+    allocator_name: str = ""
+    served_tier: int = 0
+    fallback_trail: Tuple = ()
+    root_bound_matched: bool = False
+
+    def to_result(self, compiled: "CompiledProblem") -> AllocationResult:
+        """Materialize the dict-of-intervals :class:`AllocationResult`."""
+        durations = compiled.duration.tolist()
+        starts = self.starts.tolist()
+        allocation = {
+            hid: Interval(s, s + v)
+            for hid, s, v in zip(compiled.ids, starts, durations)
+        }
+        return AllocationResult(
+            allocation=allocation,
+            cost=self.cost,
+            wall_time_s=self.wall_time_s,
+            proven_optimal=self.proven_optimal,
+            nodes_explored=self.nodes_explored,
+            lower_bound=self.lower_bound,
+            allocator_name=self.allocator_name,
+            served_tier=self.served_tier,
+            fallback_trail=self.fallback_trail,
+            root_bound_matched=self.root_bound_matched,
+        )
+
+
+def problem_from_compiled(
+    compiled: "CompiledProblem", pricing: PricingModel
+) -> AllocationProblem:
+    """Materialize an object :class:`AllocationProblem` from compiled arrays.
+
+    The fallback bridge for allocators without a native columnar kernel:
+    the objects are rebuilt in row order, so ``problem.items[i]`` is the
+    household at compiled row ``i``.
+    """
+    items = tuple(
+        AllocationItem(
+            household_id=hid,
+            window=Interval(a, b),
+            duration=v,
+            rating_kw=r,
+        )
+        for hid, a, b, v, r in zip(
+            compiled.ids,
+            compiled.win_start.tolist(),
+            compiled.win_end.tolist(),
+            compiled.duration.tolist(),
+            compiled.rating.tolist(),
+        )
+    )
+    return AllocationProblem(items=items, pricing=pricing)
+
+
 class Allocator(abc.ABC):
     """Strategy interface for solving :class:`AllocationProblem`."""
 
@@ -165,6 +240,40 @@ class Allocator(abc.ABC):
             rng: Randomness source for tie-breaking; a fresh deterministic
                 generator is used when omitted.
         """
+
+    def solve_columnar(
+        self,
+        compiled: "CompiledProblem",
+        pricing: PricingModel,
+        rng: Optional[random.Random] = None,
+    ) -> ColumnarAllocationResult:
+        """Solve a compiled (columnar) instance.
+
+        The default bridges through the object path — materialize the
+        ``AllocationProblem``, call :meth:`solve`, and gather the begin
+        slots back into a vector — so every allocator works in columnar
+        mode at paper sizes.  Allocators with a native array kernel (the
+        greedy one) override this to skip the objects entirely.
+        """
+        problem = problem_from_compiled(compiled, pricing)
+        result = self.solve(problem, rng)
+        starts = np.fromiter(
+            (result.allocation[hid].start for hid in compiled.ids),
+            dtype=np.intp,
+            count=len(compiled.ids),
+        )
+        return ColumnarAllocationResult(
+            starts=starts,
+            cost=result.cost,
+            wall_time_s=result.wall_time_s,
+            proven_optimal=result.proven_optimal,
+            nodes_explored=result.nodes_explored,
+            lower_bound=result.lower_bound,
+            allocator_name=result.allocator_name,
+            served_tier=result.served_tier,
+            fallback_trail=result.fallback_trail,
+            root_bound_matched=result.root_bound_matched,
+        )
 
     def _finish(
         self,

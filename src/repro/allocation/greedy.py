@@ -6,6 +6,17 @@ randomly.  Each household in turn receives the placement inside its window
 that minimally increases the neighborhood cost given the blocks placed so
 far.  One pass, O(n log n + n * W * v) — the tractability half of the
 paper's Figure 6 comparison.
+
+Two solve paths share the placement logic:
+
+* :meth:`GreedyFlexibilityAllocator.solve` — the object path over
+  ``AllocationItem``s, with a fresh prefix-sum rebuild per placement.
+* :meth:`GreedyFlexibilityAllocator.solve_columnar` — the large-n kernel:
+  one ``flexibility_vector`` call, one ``np.lexsort`` with vectorized
+  random tie-break keys, and O(duration) incremental prefix/load updates
+  per placement instead of a full ``np.cumsum``.  On the paper's
+  exact-binary ratings every partial sum is exact, so the two paths pick
+  identical placements (pinned by ``tests/test_columnar_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -19,26 +30,47 @@ import numpy as np
 from ..core.flexibility import flexibility_vector
 from ..core.intervals import HOURS_PER_DAY, Interval
 from ..core.types import AllocationMap, HouseholdId
+from ..pricing.base import PricingModel
+from ..pricing.load_profile import LoadProfile
 from ..pricing.quadratic import QuadraticPricing
 from .arrays import CompiledProblem, compile_problem
-from .base import AllocationProblem, AllocationResult, Allocator
+from .base import (
+    AllocationProblem,
+    AllocationResult,
+    Allocator,
+    ColumnarAllocationResult,
+)
 
 
 def predicted_flexibility_for_problem(
     problem: AllocationProblem,
+    compiled: Optional[CompiledProblem] = None,
 ) -> Dict[HouseholdId, float]:
-    """Predicted flexibility (Eq. 4) of each item from the problem's windows."""
-    n = len(problem.items)
-    if n == 0:
+    """Predicted flexibility (Eq. 4) of each item from the problem's windows.
+
+    Reuses the problem's :class:`CompiledProblem` start/end/duration
+    arrays (compiled once per problem object and shared with the solvers)
+    instead of rebuilding them with per-item ``np.fromiter`` passes.
+    """
+    if compiled is None:
+        compiled = compile_problem(problem)
+    if len(compiled) == 0:
         return {}
-    starts = np.fromiter((item.window.start for item in problem.items), np.intp, count=n)
-    ends = np.fromiter((item.window.end for item in problem.items), np.intp, count=n)
-    durations = np.fromiter((item.duration for item in problem.items), np.intp, count=n)
-    scores = flexibility_vector(starts, ends, durations)
-    return {
-        item.household_id: score
-        for item, score in zip(problem.items, scores.tolist())
-    }
+    scores = flexibility_vector(
+        compiled.win_start, compiled.win_end, compiled.duration
+    )
+    return dict(zip(compiled.ids, scores.tolist()))
+
+
+#: ``_RAMPS[v][k]`` is how many hours of a duration-``v`` block beginning
+#: at ``s`` lie at or before hour ``s + 1 + k`` — i.e. ``min(k + 1, v)``.
+#: Adding ``rating * _RAMPS[v][:24 - s]`` to ``prefix[s + 1:]`` applies a
+#: placement to a maintained prefix-sum vector in O(24) without the full
+#: ``np.cumsum`` rebuild.
+_RAMPS = [None] + [
+    np.minimum(np.arange(1, HOURS_PER_DAY + 1, dtype=float), float(v))
+    for v in range(1, HOURS_PER_DAY + 1)
+]
 
 
 class GreedyFlexibilityAllocator(Allocator):
@@ -64,7 +96,8 @@ class GreedyFlexibilityAllocator(Allocator):
         started_at = time.perf_counter()
         rng = rng if rng is not None else random.Random(self._seed)
 
-        flexibility = predicted_flexibility_for_problem(problem)
+        compiled = compile_problem(problem)
+        flexibility = predicted_flexibility_for_problem(problem, compiled)
         # Random tie-breaking via a per-household random key, then flexibility.
         order = sorted(
             problem.items,
@@ -76,7 +109,6 @@ class GreedyFlexibilityAllocator(Allocator):
             ),
         )
 
-        compiled = compile_problem(problem)
         loads = np.zeros(HOURS_PER_DAY, dtype=float)
         prefix = np.zeros(HOURS_PER_DAY + 1, dtype=float)
         allocation: AllocationMap = {}
@@ -91,6 +123,79 @@ class GreedyFlexibilityAllocator(Allocator):
             np.cumsum(loads, out=prefix[1:])
 
         return self._finish(problem, allocation, started_at)
+
+    def solve_columnar(
+        self,
+        compiled: CompiledProblem,
+        pricing: PricingModel,
+        rng: Optional[random.Random] = None,
+    ) -> ColumnarAllocationResult:
+        """The large-n greedy kernel: no per-household objects.
+
+        Flexibility scores come from one :func:`flexibility_vector` call;
+        the processing order is one stable ``np.lexsort`` over
+        ``(tie_key, flexibility)`` with tie keys drawn in row order from
+        ``rng`` (the same draw sequence the object path's ``sorted`` key
+        function consumes); each placement updates the running load and
+        its prefix sum incrementally in O(24) instead of recomputing a
+        full ``np.cumsum``.
+        """
+        started_at = time.perf_counter()
+        rng = rng if rng is not None else random.Random(self._seed)
+        n = len(compiled)
+        starts_out = np.zeros(n, dtype=np.intp)
+        if n == 0:
+            return ColumnarAllocationResult(
+                starts=starts_out,
+                cost=pricing.cost(LoadProfile()),
+                wall_time_s=time.perf_counter() - started_at,
+                allocator_name=self.name,
+            )
+
+        flex = flexibility_vector(
+            compiled.win_start, compiled.win_end, compiled.duration
+        )
+        keys = np.fromiter(
+            (rng.random() for _ in range(n)), dtype=float, count=n
+        )
+        order = np.lexsort((keys, flex if self.ascending else -flex))
+
+        quadratic = isinstance(pricing, QuadraticPricing)
+        loads = np.zeros(HOURS_PER_DAY, dtype=float)
+        prefix = np.zeros(HOURS_PER_DAY + 1, dtype=float)
+        win_start = compiled.win_start.tolist()
+        win_end = compiled.win_end.tolist()
+        duration = compiled.duration.tolist()
+        rating = compiled.rating.tolist()
+        start_index = compiled.start_index
+        end_index = compiled.end_index
+        for i in order.tolist():
+            a, v, r = win_start[i], duration[i], rating[i]
+            if quadratic:
+                sums = prefix[end_index[i]] - prefix[start_index[i]]
+                s = a + int(np.argmin(sums))
+            else:
+                b = win_end[i]
+                hourly = pricing.marginal_cost_batch(loads[a:b], r)
+                window_prefix = np.concatenate(([0.0], np.cumsum(hourly)))
+                deltas = window_prefix[v:] - window_prefix[:-v]
+                s = a + int(np.argmin(deltas))
+            starts_out[i] = s
+            loads[s:s + v] += r
+            prefix[s + 1:] += r * _RAMPS[v][:HOURS_PER_DAY - s]
+
+        # Cost through the same difference-array builder the object path's
+        # ``problem.cost`` uses, rows in compiled order, so the float
+        # accumulation sequence matches bit for bit.
+        profile = LoadProfile.from_arrays(
+            starts_out, starts_out + compiled.duration, compiled.rating
+        )
+        return ColumnarAllocationResult(
+            starts=starts_out,
+            cost=pricing.cost(profile),
+            wall_time_s=time.perf_counter() - started_at,
+            allocator_name=self.name,
+        )
 
     @staticmethod
     def _best_start(
@@ -109,8 +214,9 @@ class GreedyFlexibilityAllocator(Allocator):
         turn the maintained prefix sum into every candidate window's sum in
         one vectorized subtraction, reused across placements instead of
         re-convolving per item.  Other pricing models get the same
-        sliding-window treatment over per-hour marginal costs (which depend
-        only on that hour's load), so no candidate rescans its hours.
+        sliding-window treatment over batched per-hour marginal costs
+        (which depend only on that hour's load), so no candidate rescans
+        its hours.
         """
         a, b, v = item.window.start, item.window.end, item.duration
         if quadratic:
@@ -118,14 +224,7 @@ class GreedyFlexibilityAllocator(Allocator):
             sums = compiled.block_sums(prefix, compiled.index_of[item.household_id])
             return a + int(np.argmin(sums))
 
-        hourly = np.fromiter(
-            (
-                problem.pricing.marginal_cost(float(load), item.rating_kw)
-                for load in loads[a:b]
-            ),
-            dtype=float,
-            count=b - a,
-        )
+        hourly = problem.pricing.marginal_cost_batch(loads[a:b], item.rating_kw)
         window_prefix = np.concatenate(([0.0], np.cumsum(hourly)))
         deltas = window_prefix[v:] - window_prefix[:-v]
         return a + int(np.argmin(deltas))

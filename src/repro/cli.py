@@ -101,6 +101,15 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--columnar",
+        action="store_true",
+        help=(
+            "run days on the columnar (structure-of-arrays) fast path "
+            "(fig4/fig5/fig6/simulate); required for very large --n, uses "
+            "its own sampling substream"
+        ),
+    )
+    parser.add_argument(
         "--days", type=int, default=None, help="simulated days per setting"
     )
     parser.add_argument(
@@ -153,6 +162,8 @@ def _overrides_for(experiment_id: str, args: argparse.Namespace) -> dict:
         if args.checkpoint is not None:
             overrides["checkpoint_path"] = args.checkpoint
             overrides["resume"] = args.resume
+        if args.columnar:
+            overrides["columnar"] = True
     if experiment_id == "fig7" and args.repeats is not None:
         overrides["repeats"] = args.repeats
     if experiment_id in {"abl-order", "abl-pricing"} and args.days is not None:
@@ -175,16 +186,30 @@ def _simulate(args: argparse.Namespace) -> int:
     seed = args.seed if args.seed is not None else 2017
     days = args.days if args.days is not None else 7
     generator = ProfileGenerator()
-    profiles = generator.sample_population(np.random.default_rng(seed), args.n)
-    neighborhood = neighborhood_from_profiles(profiles, "wide")
     quarantine = Quarantine(args.quarantine) if args.quarantine else None
-    checkpoint = (
-        CheckpointStore(args.checkpoint, fresh=not args.resume)
-        if args.checkpoint
-        else None
-    )
+    if args.columnar and args.checkpoint:
+        print("--columnar does not support --checkpoint", file=sys.stderr)
+        return 2
+    if args.columnar and args.audit:
+        print("--columnar does not support --audit", file=sys.stderr)
+        return 2
+    if args.columnar:
+        cols = generator.sample_population_columnar(
+            np.random.default_rng(seed), args.n
+        )
+        neighborhood = cols.to_neighborhood("wide")
+        checkpoint = None
+    else:
+        profiles = generator.sample_population(np.random.default_rng(seed), args.n)
+        neighborhood = neighborhood_from_profiles(profiles, "wide")
+        checkpoint = (
+            CheckpointStore(args.checkpoint, fresh=not args.resume)
+            if args.checkpoint
+            else None
+        )
     simulation = NeighborhoodSimulation(
-        EnkiMechanism(seed=seed, quarantine=quarantine)
+        EnkiMechanism(seed=seed, quarantine=quarantine),
+        columnar=args.columnar,
     )
     outcomes = simulation.run(
         neighborhood,
@@ -198,9 +223,14 @@ def _simulate(args: argparse.Namespace) -> int:
     rows = []
     for day, outcome in enumerate(outcomes):
         settlement = outcome.settlement
-        defectors = sum(
-            1 for hid in outcome.allocation if outcome.defected(hid)
-        )
+        if args.columnar:
+            defectors = int(
+                (outcome.consumption_starts != outcome.allocation_starts).sum()
+            )
+        else:
+            defectors = sum(
+                1 for hid in outcome.allocation if outcome.defected(hid)
+            )
         rows.append(
             (
                 day,

@@ -1,0 +1,251 @@
+"""Columnar (structure-of-arrays) views of a neighborhood and its reports.
+
+The object model (:class:`~repro.core.types.HouseholdType`,
+:class:`~repro.core.types.Report`) is one Python object per household —
+fine at the paper's n <= 50, but at 100k households a simulated day spends
+its time churning objects rather than doing arithmetic.  This module keeps
+a whole neighborhood as a handful of parallel numpy arrays plus an id
+vector, and lowers reports straight into the allocators'
+:class:`~repro.allocation.arrays.CompiledProblem` without materializing a
+single ``HouseholdType`` or ``Report``.
+
+Both representations describe the same mechanism; ``to_objects()`` /
+``from_objects()`` bridge between them, and
+``tests/test_columnar_equivalence.py`` pins that a day computed on either
+path is bit-identical on identical inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+from ..allocation.arrays import CompiledProblem
+from ..pricing.base import PricingModel
+from .intervals import HOURS_PER_DAY, Interval
+from .types import (
+    HouseholdId,
+    HouseholdType,
+    Neighborhood,
+    Preference,
+    Report,
+)
+
+
+def _as_index_array(values, name: str) -> np.ndarray:
+    arr = np.ascontiguousarray(values, dtype=np.intp)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    return arr
+
+
+def _check_windows(
+    start: np.ndarray, end: np.ndarray, duration: np.ndarray, what: str
+) -> None:
+    """Vectorized counterpart of ``Preference``'s validation."""
+    n = start.shape[0]
+    if not (end.shape[0] == duration.shape[0] == n):
+        raise ValueError(f"{what} arrays disagree on length")
+    if n == 0:
+        return
+    if int(duration.min()) < 1:
+        raise ValueError(f"{what} durations must be >= 1")
+    if int(start.min()) < 0 or int(end.max()) > HOURS_PER_DAY:
+        raise ValueError(f"{what} windows must lie within [0, {HOURS_PER_DAY}]")
+    if bool(np.any(end - start < duration)):
+        raise ValueError(f"{what} window shorter than duration")
+
+
+@dataclass(frozen=True)
+class ColumnarNeighborhood:
+    """A neighborhood as parallel arrays: one row per household.
+
+    ``true_start``/``true_end``/``duration`` hold the true preference
+    windows (``chi_i``), ``rating`` the power ratings ``r`` and
+    ``valuation`` the willingness-to-pay factors ``rho_i``.  Row order is
+    the neighborhood's insertion order; ``ids[i]`` names row ``i``.
+    """
+
+    ids: Tuple[HouseholdId, ...]
+    true_start: np.ndarray
+    true_end: np.ndarray
+    duration: np.ndarray
+    rating: np.ndarray
+    valuation: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "true_start", _as_index_array(self.true_start, "true_start"))
+        object.__setattr__(self, "true_end", _as_index_array(self.true_end, "true_end"))
+        object.__setattr__(self, "duration", _as_index_array(self.duration, "duration"))
+        object.__setattr__(
+            self, "rating", np.ascontiguousarray(self.rating, dtype=np.float64)
+        )
+        object.__setattr__(
+            self, "valuation", np.ascontiguousarray(self.valuation, dtype=np.float64)
+        )
+        n = len(self.ids)
+        for name in ("true_start", "true_end", "duration", "rating", "valuation"):
+            if getattr(self, name).shape[0] != n:
+                raise ValueError(f"{name} has {getattr(self, name).shape[0]} rows for {n} ids")
+        if len(set(self.ids)) != n:
+            raise ValueError("duplicate household ids in columnar neighborhood")
+        _check_windows(self.true_start, self.true_end, self.duration, "true preference")
+        if n and (float(self.rating.min()) <= 0 or float(self.valuation.min()) <= 0):
+            raise ValueError("ratings and valuation factors must be positive")
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    @classmethod
+    def from_objects(cls, neighborhood: Neighborhood) -> "ColumnarNeighborhood":
+        """Lower an object :class:`Neighborhood` (insertion order kept)."""
+        n = len(neighborhood)
+        households = list(neighborhood)
+        return cls(
+            ids=tuple(hh.household_id for hh in households),
+            true_start=np.fromiter(
+                (hh.true_preference.window.start for hh in households), np.intp, count=n
+            ),
+            true_end=np.fromiter(
+                (hh.true_preference.window.end for hh in households), np.intp, count=n
+            ),
+            duration=np.fromiter(
+                (hh.true_preference.duration for hh in households), np.intp, count=n
+            ),
+            rating=np.fromiter((hh.rating_kw for hh in households), np.float64, count=n),
+            valuation=np.fromiter(
+                (hh.valuation_factor for hh in households), np.float64, count=n
+            ),
+        )
+
+    def take(self, keep: np.ndarray) -> "ColumnarNeighborhood":
+        """The subset of rows selected by boolean mask ``keep``."""
+        idx = np.flatnonzero(keep)
+        return ColumnarNeighborhood(
+            ids=tuple(self.ids[i] for i in idx.tolist()),
+            true_start=self.true_start[idx],
+            true_end=self.true_end[idx],
+            duration=self.duration[idx],
+            rating=self.rating[idx],
+            valuation=self.valuation[idx],
+        )
+
+    def to_objects(self) -> Neighborhood:
+        """Materialize the object :class:`Neighborhood`, same row order."""
+        return Neighborhood.of(
+            *(
+                HouseholdType(
+                    household_id=hid,
+                    true_preference=Preference(Interval(a, b), v),
+                    valuation_factor=rho,
+                    rating_kw=r,
+                )
+                for hid, a, b, v, r, rho in zip(
+                    self.ids,
+                    self.true_start.tolist(),
+                    self.true_end.tolist(),
+                    self.duration.tolist(),
+                    self.rating.tolist(),
+                    self.valuation.tolist(),
+                )
+            )
+        )
+
+
+@dataclass(frozen=True)
+class ColumnarReports:
+    """Declared preference windows as parallel arrays, one row per report.
+
+    Durations are reported truthfully in the paper's model, so a report
+    row is just a window; rows are parallel to the neighborhood they were
+    built against (``ids`` repeats the household ids for self-description
+    and the bridges).
+    """
+
+    ids: Tuple[HouseholdId, ...]
+    start: np.ndarray
+    end: np.ndarray
+    duration: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "start", _as_index_array(self.start, "start"))
+        object.__setattr__(self, "end", _as_index_array(self.end, "end"))
+        object.__setattr__(self, "duration", _as_index_array(self.duration, "duration"))
+        n = len(self.ids)
+        for name in ("start", "end", "duration"):
+            if getattr(self, name).shape[0] != n:
+                raise ValueError(f"{name} has {getattr(self, name).shape[0]} rows for {n} ids")
+        _check_windows(self.start, self.end, self.duration, "report")
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    @classmethod
+    def truthful(cls, neighborhood: ColumnarNeighborhood) -> "ColumnarReports":
+        """Every household reports its true window (the Figures 4-6 setting)."""
+        return cls(
+            ids=neighborhood.ids,
+            start=neighborhood.true_start.copy(),
+            end=neighborhood.true_end.copy(),
+            duration=neighborhood.duration.copy(),
+        )
+
+    @classmethod
+    def from_objects(
+        cls, reports: Mapping[HouseholdId, Report]
+    ) -> "ColumnarReports":
+        """Lower an object report map (iteration order kept)."""
+        n = len(reports)
+        return cls(
+            ids=tuple(reports.keys()),
+            start=np.fromiter(
+                (r.preference.window.start for r in reports.values()), np.intp, count=n
+            ),
+            end=np.fromiter(
+                (r.preference.window.end for r in reports.values()), np.intp, count=n
+            ),
+            duration=np.fromiter(
+                (r.preference.duration for r in reports.values()), np.intp, count=n
+            ),
+        )
+
+    def to_objects(self) -> Dict[HouseholdId, Report]:
+        """Materialize object :class:`Report`s, same row order."""
+        return {
+            hid: Report(hid, Preference(Interval(a, b), v))
+            for hid, a, b, v in zip(
+                self.ids, self.start.tolist(), self.end.tolist(), self.duration.tolist()
+            )
+        }
+
+    def compile(
+        self, neighborhood: ColumnarNeighborhood, pricing: PricingModel
+    ) -> CompiledProblem:
+        """Lower these reports straight into a :class:`CompiledProblem`.
+
+        The columnar analogue of ``AllocationProblem.from_reports`` +
+        ``compile_problem``, with no intermediate objects: the reports
+        supply the windows and durations, the neighborhood the ratings.
+        """
+        if self.ids != neighborhood.ids:
+            raise ValueError("reports and neighborhood rows are not aligned")
+        return CompiledProblem.from_arrays(
+            ids=self.ids,
+            win_start=self.start,
+            win_end=self.end,
+            duration=self.duration,
+            rating=neighborhood.rating,
+            pricing=pricing,
+        )
+
+    def take(self, keep: np.ndarray) -> "ColumnarReports":
+        """The subset of rows selected by boolean mask ``keep``."""
+        idx = np.flatnonzero(keep)
+        return ColumnarReports(
+            ids=tuple(self.ids[i] for i in idx.tolist()),
+            start=self.start[idx],
+            end=self.end[idx],
+            duration=self.duration[idx],
+        )

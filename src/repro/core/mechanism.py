@@ -19,14 +19,20 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 
 import numpy as np
 
-from ..allocation.base import AllocationProblem, AllocationResult, Allocator
+from ..allocation.base import (
+    AllocationProblem,
+    AllocationResult,
+    Allocator,
+    ColumnarAllocationResult,
+)
 from ..allocation.greedy import GreedyFlexibilityAllocator
 from ..pricing.base import PricingModel
 from ..pricing.load_profile import LoadProfile
 from ..pricing.quadratic import QuadraticPricing
+from .columnar import ColumnarNeighborhood, ColumnarReports
 from .defection import defection_vector
 from .flexibility import flexibility_vector
-from .intervals import Interval
+from .intervals import Interval, IntervalError
 from .payments import DEFAULT_XI, payments_vector
 from .social_cost import DEFAULT_K, social_cost_vector
 from .types import (
@@ -104,6 +110,68 @@ class Settlement:
     overlap_fractions: Dict[HouseholdId, float]
     neighborhood_utility: float
     load_profile: LoadProfile
+
+
+@dataclass
+class ColumnarSettlement:
+    """A day's settlement as parallel arrays, one row per billed household.
+
+    The array twin of :class:`Settlement`, produced by
+    :meth:`EnkiMechanism.settle_arrays`; :meth:`to_settlement` bridges to
+    the dict form (the bridge is how the object path's
+    :meth:`EnkiMechanism.settle` is implemented, so the two are the same
+    computation by construction).
+    """
+
+    ids: Tuple[HouseholdId, ...]
+    total_cost: float
+    flexibility: np.ndarray
+    defection: np.ndarray
+    social_cost: np.ndarray
+    payments: np.ndarray
+    valuations: np.ndarray
+    utilities: np.ndarray
+    overlap_fractions: np.ndarray
+    neighborhood_utility: float
+    load_profile: LoadProfile
+
+    def to_settlement(self) -> Settlement:
+        """Materialize the per-household dict :class:`Settlement`."""
+        ids = list(self.ids)
+        return Settlement(
+            total_cost=self.total_cost,
+            flexibility=dict(zip(ids, self.flexibility.tolist())),
+            defection=dict(zip(ids, self.defection.tolist())),
+            social_cost=dict(zip(ids, self.social_cost.tolist())),
+            payments=dict(zip(ids, self.payments.tolist())),
+            valuations=dict(zip(ids, self.valuations.tolist())),
+            utilities=dict(zip(ids, self.utilities.tolist())),
+            overlap_fractions=dict(zip(ids, self.overlap_fractions.tolist())),
+            neighborhood_utility=self.neighborhood_utility,
+            load_profile=self.load_profile,
+        )
+
+
+@dataclass
+class ColumnarDayOutcome:
+    """A full columnar day: surviving rows, allocation and settlement.
+
+    ``kept`` is the boolean mask over the *input* neighborhood rows that
+    survived quarantine (all-true without a quarantine); every other
+    field is aligned with the kept rows.
+    """
+
+    neighborhood: ColumnarNeighborhood
+    reports: ColumnarReports
+    allocation_result: ColumnarAllocationResult
+    consumption_starts: np.ndarray
+    settlement: ColumnarSettlement
+    kept: np.ndarray
+    quarantine_decisions: Tuple = ()
+
+    @property
+    def allocation_starts(self) -> np.ndarray:
+        return self.allocation_result.starts
 
 
 @dataclass
@@ -248,6 +316,57 @@ class EnkiMechanism:
             (reports[h].preference.duration for h in ids), np.intp, count=n
         )
 
+        true_starts = np.fromiter(
+            (types[h].true_preference.window.start for h in ids), np.intp, count=n
+        )
+        true_ends = np.fromiter(
+            (types[h].true_preference.window.end for h in ids), np.intp, count=n
+        )
+        true_durations = np.fromiter(
+            (types[h].true_preference.duration for h in ids), np.intp, count=n
+        )
+        factors = np.fromiter(
+            (types[h].valuation_factor for h in ids), float, count=n
+        )
+
+        return self.settle_arrays(
+            ids=tuple(ids),
+            alloc_starts=alloc_starts,
+            alloc_ends=alloc_ends,
+            cons_starts=cons_starts,
+            cons_ends=cons_ends,
+            ratings=ratings,
+            rep_starts=rep_starts,
+            rep_ends=rep_ends,
+            rep_durations=rep_durations,
+            true_starts=true_starts,
+            true_ends=true_ends,
+            true_durations=true_durations,
+            factors=factors,
+        ).to_settlement()
+
+    def settle_arrays(
+        self,
+        ids: Tuple[HouseholdId, ...],
+        alloc_starts: np.ndarray,
+        alloc_ends: np.ndarray,
+        cons_starts: np.ndarray,
+        cons_ends: np.ndarray,
+        ratings: np.ndarray,
+        rep_starts: np.ndarray,
+        rep_ends: np.ndarray,
+        rep_durations: np.ndarray,
+        true_starts: np.ndarray,
+        true_ends: np.ndarray,
+        true_durations: np.ndarray,
+        factors: np.ndarray,
+    ) -> ColumnarSettlement:
+        """The Eq. 3-8 scoring chain over parallel arrays.
+
+        The array core shared by :meth:`settle` (which unpacks objects
+        into these arrays) and the columnar day (which already has them);
+        all inputs are row-aligned over the households being billed.
+        """
         profile = LoadProfile.from_arrays(cons_starts, cons_ends, ratings)
         total_cost = self.pricing.cost(profile)
 
@@ -264,18 +383,6 @@ class EnkiMechanism:
         payments_arr = payments_vector(social_arr, total_cost, self.xi)
 
         # Eq. 3 against the *true* windows, and Eq. 8 utilities.
-        true_starts = np.fromiter(
-            (types[h].true_preference.window.start for h in ids), np.intp, count=n
-        )
-        true_ends = np.fromiter(
-            (types[h].true_preference.window.end for h in ids), np.intp, count=n
-        )
-        true_durations = np.fromiter(
-            (types[h].true_preference.duration for h in ids), np.intp, count=n
-        )
-        factors = np.fromiter(
-            (types[h].valuation_factor for h in ids), float, count=n
-        )
         tau = np.clip(
             np.minimum(alloc_ends, true_ends) - np.maximum(alloc_starts, true_starts),
             0,
@@ -289,15 +396,16 @@ class EnkiMechanism:
             None,
         ) / (alloc_ends - alloc_starts)
 
-        return Settlement(
+        return ColumnarSettlement(
+            ids=tuple(ids),
             total_cost=total_cost,
-            flexibility=dict(zip(ids, flexibility_arr.tolist())),
-            defection=dict(zip(ids, defection_arr.tolist())),
-            social_cost=dict(zip(ids, social_arr.tolist())),
-            payments=dict(zip(ids, payments_arr.tolist())),
-            valuations=dict(zip(ids, valuations_arr.tolist())),
-            utilities=dict(zip(ids, utilities_arr.tolist())),
-            overlap_fractions=dict(zip(ids, overlaps_arr.tolist())),
+            flexibility=flexibility_arr,
+            defection=defection_arr,
+            social_cost=social_arr,
+            payments=payments_arr,
+            valuations=valuations_arr,
+            utilities=utilities_arr,
+            overlap_fractions=overlaps_arr,
             neighborhood_utility=float(payments_arr.sum()) - total_cost,
             load_profile=profile,
         )
@@ -336,5 +444,108 @@ class EnkiMechanism:
             allocation_result=allocation_result,
             consumption=dict(consumption),
             settlement=settlement,
+            quarantine_decisions=decisions,
+        )
+
+    def allocate_columnar(
+        self,
+        neighborhood: ColumnarNeighborhood,
+        reports: ColumnarReports,
+        rng: Optional[random.Random] = None,
+    ) -> ColumnarAllocationResult:
+        """Solve a columnar day's allocation problem.
+
+        Reports are lowered straight into a
+        :class:`~repro.allocation.arrays.CompiledProblem` and handed to
+        the allocator's columnar kernel (the greedy one is native; others
+        bridge through the object path).  The returned begin slots are
+        validated against the reported windows — the array counterpart of
+        :func:`~repro.core.types.validate_allocation`.
+        """
+        rng = rng if rng is not None else random.Random(self._seed)
+        compiled = reports.compile(neighborhood, self.pricing)
+        result = self.allocator.solve_columnar(compiled, self.pricing, rng)
+        starts = result.starts
+        bad = (starts < reports.start) | (starts + reports.duration > reports.end)
+        if bool(np.any(bad)):
+            i = int(np.argmax(bad))
+            raise IntervalError(
+                f"allocation [{int(starts[i])}, "
+                f"{int(starts[i] + reports.duration[i])}) for "
+                f"{reports.ids[i]!r} violates report window "
+                f"[{int(reports.start[i])}, {int(reports.end[i])})"
+            )
+        return result
+
+    def run_day_columnar(
+        self,
+        neighborhood: ColumnarNeighborhood,
+        reports: Optional[ColumnarReports] = None,
+        rng: Optional[random.Random] = None,
+    ) -> ColumnarDayOutcome:
+        """Run one full day on the columnar path: allocate, consume, settle.
+
+        The array counterpart of :meth:`run_day` with closest-feasible
+        consumption: truthful reports when ``reports`` is omitted, the
+        configured quarantine applied first (typed rows are re-validated,
+        so the screen is an accept-all no-op on clean days), and the whole
+        Eq. 3-8 settlement batched.  No per-household objects exist at any
+        point.
+        """
+        if reports is None:
+            reports = ColumnarReports.truthful(neighborhood)
+        if reports.ids != neighborhood.ids:
+            raise ValueError("reports and neighborhood rows are not aligned")
+        decisions: Tuple = ()
+        kept = np.ones(len(neighborhood), dtype=bool)
+        if self.quarantine is not None:
+            screened = self.quarantine.screen_columnar(
+                neighborhood,
+                reports.start.astype(float),
+                reports.end.astype(float),
+                reports.duration.astype(float),
+            )
+            reports = screened.accepted
+            kept = screened.kept
+            decisions = tuple(screened.decisions)
+            neighborhood = neighborhood.take(kept)
+        result = self.allocate_columnar(neighborhood, reports, rng)
+
+        # Closest-feasible consumption, vectorized: consumption shares the
+        # (metered) duration, so overlap with the allocation is
+        # ``v - |s - alloc_start|`` and the in-window start closest to the
+        # allocation maximizes it; when even that overlaps nothing, every
+        # in-window start ties at zero and the scalar rule picks the
+        # earliest.
+        v = neighborhood.duration
+        alloc_starts = result.starts
+        cons_starts = np.clip(
+            alloc_starts, neighborhood.true_start, neighborhood.true_end - v
+        )
+        overlap = v - np.abs(cons_starts - alloc_starts)
+        cons_starts = np.where(overlap > 0, cons_starts, neighborhood.true_start)
+
+        settlement = self.settle_arrays(
+            ids=neighborhood.ids,
+            alloc_starts=alloc_starts,
+            alloc_ends=alloc_starts + v,
+            cons_starts=cons_starts,
+            cons_ends=cons_starts + v,
+            ratings=neighborhood.rating,
+            rep_starts=reports.start,
+            rep_ends=reports.end,
+            rep_durations=reports.duration,
+            true_starts=neighborhood.true_start,
+            true_ends=neighborhood.true_end,
+            true_durations=neighborhood.duration,
+            factors=neighborhood.valuation,
+        )
+        return ColumnarDayOutcome(
+            neighborhood=neighborhood,
+            reports=reports,
+            allocation_result=result,
+            consumption_starts=cons_starts,
+            settlement=settlement,
+            kept=kept,
             quarantine_decisions=decisions,
         )

@@ -84,6 +84,7 @@ def run(
     workers: Optional[int] = 1,
     checkpoint_path: Optional[str] = None,
     resume: bool = False,
+    columnar: bool = False,
 ) -> Fig5Result:
     """Regenerate Figure 5 from scratch."""
     return extract(
@@ -95,5 +96,6 @@ def run(
             workers=workers,
             checkpoint_path=checkpoint_path,
             resume=resume,
+            columnar=columnar,
         )
     )

@@ -85,12 +85,15 @@ def run(
     workers: Optional[int] = 1,
     checkpoint_path: Optional[str] = None,
     resume: bool = False,
+    columnar: bool = False,
 ) -> Fig6Result:
     """Regenerate Figure 6 from scratch.
 
     ``workers`` fans the day instances across processes; scheduling times
     are still measured per-solve inside each worker, so Figure 6's series
-    are comparable across worker counts.
+    are comparable across worker counts.  ``columnar`` switches each day
+    to the structure-of-arrays fast path (the exact solver then bridges
+    through its object kernel; timings remain per-solve).
     """
     return extract(
         run_social_welfare_study(
@@ -101,5 +104,6 @@ def run(
             workers=workers,
             checkpoint_path=checkpoint_path,
             resume=resume,
+            columnar=columnar,
         )
     )

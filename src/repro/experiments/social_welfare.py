@@ -50,6 +50,7 @@ def run_social_welfare_study(
     workers: Optional[int] = 1,
     checkpoint_path: Optional[str] = None,
     resume: bool = False,
+    columnar: bool = False,
 ) -> SocialWelfareResult:
     """Run the Figures 4-6 study once.
 
@@ -68,6 +69,9 @@ def run_social_welfare_study(
             already holds instead of recomputing them (a killed sweep
             picks up where it stopped, with identical final results);
             without it, any existing store is discarded first.
+        columnar: Run each day on the structure-of-arrays fast path (its
+            own sampling substream; required for very large populations —
+            see ``docs/performance.md``).
     """
     checkpoint = (
         CheckpointStore(checkpoint_path, fresh=not resume)
@@ -78,7 +82,8 @@ def run_social_welfare_study(
         allocators=[
             GreedyFlexibilityAllocator(),
             BranchAndBoundAllocator(time_limit_s=optimal_time_limit_s),
-        ]
+        ],
+        columnar=columnar,
     )
     records = study.sweep(
         populations, days, seed, workers=workers, checkpoint=checkpoint

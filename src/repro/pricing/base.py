@@ -62,3 +62,24 @@ class PricingModel(abc.ABC):
     def marginal_cost(self, load_kw: float, added_kw: float) -> float:
         """Cost increase of adding ``added_kw`` on top of ``load_kw`` for one hour."""
         return self.hourly_cost(load_kw + added_kw) - self.hourly_cost(load_kw)
+
+    def marginal_cost_batch(
+        self, loads_kw: "np.ndarray", added_kw: float
+    ) -> "np.ndarray":
+        """:meth:`marginal_cost` for a vector of hourly loads.
+
+        The allocators' placement scans evaluate the marginal cost of one
+        ``added_kw`` block over every hour of a window at once.  Subclasses
+        with closed-form prices should override this with an array
+        expression written in the same operation order as the scalar path,
+        so the batched scan is bit-identical to a per-hour loop; the
+        default falls back to :meth:`marginal_cost` per entry.
+        """
+        arr = np.asarray(loads_kw, dtype=float)
+        flat = arr.reshape(-1)
+        out = np.fromiter(
+            (self.marginal_cost(float(value), added_kw) for value in flat),
+            dtype=float,
+            count=flat.size,
+        )
+        return out.reshape(arr.shape)

@@ -9,6 +9,8 @@ the quadratic form.
 
 from __future__ import annotations
 
+import numpy as np
+
 from .base import PricingModel
 
 
@@ -44,6 +46,17 @@ class TwoStepPricing(PricingModel):
         base = min(load_kw, self.threshold_kw)
         excess = max(load_kw - self.threshold_kw, 0.0)
         return self.low_rate * base + self.high_rate * excess
+
+    def _hourly_cost_array(self, loads_kw: np.ndarray) -> np.ndarray:
+        """:meth:`hourly_cost` elementwise, same expression order."""
+        base = np.minimum(loads_kw, self.threshold_kw)
+        excess = np.maximum(loads_kw - self.threshold_kw, 0.0)
+        return self.low_rate * base + self.high_rate * excess
+
+    def marginal_cost_batch(self, loads_kw: np.ndarray, added_kw: float) -> np.ndarray:
+        """Batched marginal cost, bitwise equal to the scalar per-hour path."""
+        arr = np.asarray(loads_kw, dtype=float)
+        return self._hourly_cost_array(arr + added_kw) - self._hourly_cost_array(arr)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -44,6 +44,17 @@ class QuadraticPricing(PricingModel):
         arr = np.asarray(loads, dtype=float)
         return self.sigma * np.einsum("...h,...h->...", arr, arr)
 
+    def marginal_cost_batch(self, loads_kw: np.ndarray, added_kw: float) -> np.ndarray:
+        """Batched marginal cost, same operation order as the scalar path.
+
+        ``sigma * (l + r) * (l + r) - sigma * l * l`` elementwise — the
+        literal expression :meth:`hourly_cost` evaluates twice, so each
+        entry is bitwise equal to ``marginal_cost(l, r)``.
+        """
+        arr = np.asarray(loads_kw, dtype=float)
+        bumped = arr + added_kw
+        return self.sigma * bumped * bumped - self.sigma * arr * arr
+
     def marginal_block_cost(
         self, profile: LoadProfile, interval: Interval, rating_kw: float
     ) -> float:

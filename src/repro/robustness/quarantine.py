@@ -32,6 +32,9 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
+import numpy as np
+
+from ..core.columnar import ColumnarNeighborhood, ColumnarReports
 from ..core.intervals import HOURS_PER_DAY, Interval
 from ..core.types import HouseholdId, HouseholdType, Neighborhood, Preference, Report
 from .errors import InvalidReportError
@@ -213,6 +216,27 @@ class QuarantineResult:
         return len(self.decisions)
 
 
+@dataclass
+class ColumnarQuarantineResult:
+    """Outcome of screening a columnar day's reports.
+
+    ``accepted`` holds the surviving rows (repaired in place under the
+    ``clamp`` policy) aligned with ``neighborhood.take(kept)``; ``kept``
+    is the boolean row mask over the *input* rows.  ``decisions`` and
+    ``excluded`` match the object screen's records exactly.
+    """
+
+    accepted: ColumnarReports
+    kept: np.ndarray
+    decisions: List[QuarantineDecision] = field(default_factory=list)
+    excluded: Dict[HouseholdId, str] = field(default_factory=dict)
+
+    @property
+    def n_quarantined(self) -> int:
+        """How many reports were repaired or dropped."""
+        return len(self.decisions)
+
+
 class Quarantine:
     """Screens a day's reports under a configurable policy.
 
@@ -309,3 +333,126 @@ class Quarantine:
                 )
             )
         return QuarantineResult(accepted=accepted, decisions=decisions, excluded=excluded)
+
+    def screen_columnar(
+        self,
+        neighborhood: ColumnarNeighborhood,
+        begin: np.ndarray,
+        end: np.ndarray,
+        duration: Optional[np.ndarray] = None,
+    ) -> ColumnarQuarantineResult:
+        """Screen a day's reports given as parallel numeric arrays.
+
+        ``begin``/``end`` (and optionally ``duration``, defaulting to the
+        metered durations) are float arrays aligned with ``neighborhood``'s
+        rows — the wire format of the columnar path, where junk shows up
+        as NaN/inf, non-integral or out-of-range *numbers*.  Non-numeric
+        junk (strings, bools) is an object-path concern; a columnar
+        submission is numeric by construction, and unknown households
+        cannot occur because rows are positional.
+
+        The clean rows are validated with boolean masks mirroring
+        :func:`validate_raw_report`'s checks — one vectorized pass, no
+        per-row Python work.  Rows failing any mask are delegated to the
+        scalar :func:`validate_raw_report` / :func:`clamp_raw_report`, so
+        reasons, repairs and :class:`QuarantineDecision` records are
+        exactly the object screen's (pinned by the equivalence suite).
+        """
+        begin = np.asarray(begin, dtype=float)
+        end = np.asarray(end, dtype=float)
+        metered = neighborhood.duration
+        n = len(neighborhood)
+        if begin.shape[0] != n or end.shape[0] != n:
+            raise ValueError("report arrays are not aligned with the neighborhood")
+        if duration is None:
+            duration = metered.astype(float)
+        else:
+            duration = np.asarray(duration, dtype=float)
+            if duration.shape[0] != n:
+                raise ValueError("duration array is not aligned with the neighborhood")
+
+        # The union of validate_raw_report's failure conditions, vectorized.
+        # (NaN compares unequal to everything, so `x != trunc(x)` also
+        # catches it; ~isfinite keeps the intent explicit.)
+        with np.errstate(invalid="ignore"):
+            bad = (
+                ~np.isfinite(begin)
+                | (begin != np.trunc(begin))
+                | ~np.isfinite(end)
+                | (end != np.trunc(end))
+                | ~np.isfinite(duration)
+                | (duration != np.trunc(duration))
+                | (duration < 1)
+                | (duration != metered)
+                | (end < begin)
+                | (begin < 0)
+                | (end > HOURS_PER_DAY)
+                | (end - begin < duration)
+            )
+        keep = ~bad
+        out_begin = np.where(keep, begin, 0).astype(np.intp)
+        out_end = np.where(keep, end, 0).astype(np.intp)
+
+        decisions: List[QuarantineDecision] = []
+        excluded: Dict[HouseholdId, str] = {}
+        for i in np.flatnonzero(bad).tolist():
+            hid = neighborhood.ids[i]
+            household = HouseholdType(
+                household_id=hid,
+                true_preference=Preference(
+                    Interval(
+                        int(neighborhood.true_start[i]), int(neighborhood.true_end[i])
+                    ),
+                    int(metered[i]),
+                ),
+                valuation_factor=float(neighborhood.valuation[i]),
+                rating_kw=float(neighborhood.rating[i]),
+            )
+            raw = RawReport(hid, float(begin[i]), float(end[i]), float(duration[i]))
+            try:
+                validate_raw_report(raw, household)
+                raise AssertionError(
+                    f"mask flagged a valid report for {hid!r}"
+                )  # pragma: no cover - masks mirror the scalar checks
+            except InvalidReportError as error:
+                if self.policy == "reject":
+                    raise
+                if self.policy == "clamp":
+                    repaired = clamp_raw_report(raw, household)
+                    out_begin[i] = repaired.preference.window.start
+                    out_end[i] = repaired.preference.window.end
+                    keep[i] = True
+                    decisions.append(
+                        QuarantineDecision(
+                            household_id=hid,
+                            action="clamped",
+                            reason=error.reason,
+                            original=raw.as_payload(),
+                            repaired={
+                                "begin": repaired.preference.window.start,
+                                "end": repaired.preference.window.end,
+                                "duration": repaired.preference.duration,
+                            },
+                        )
+                    )
+                else:
+                    excluded[hid] = error.reason
+                    decisions.append(
+                        QuarantineDecision(
+                            household_id=hid,
+                            action="excluded",
+                            reason=error.reason,
+                            original=raw.as_payload(),
+                        )
+                    )
+
+        idx = np.flatnonzero(keep)
+        accepted = ColumnarReports(
+            ids=tuple(neighborhood.ids[i] for i in idx.tolist()),
+            start=out_begin[idx],
+            end=out_end[idx],
+            duration=metered[idx].copy(),
+        )
+        return ColumnarQuarantineResult(
+            accepted=accepted, kept=keep, decisions=decisions, excluded=excluded
+        )

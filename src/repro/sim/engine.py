@@ -34,8 +34,10 @@ from dataclasses import asdict, dataclass, fields as dataclass_fields
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..allocation.base import AllocationProblem, Allocator
+from ..core.columnar import ColumnarNeighborhood, ColumnarReports
 from ..core.intervals import Interval
 from ..core.mechanism import (
+    ColumnarDayOutcome,
     DayOutcome,
     EnkiMechanism,
     closest_feasible_consumption,
@@ -107,6 +109,8 @@ def _run_study_day(
     if study.chaos is not None:
         study.chaos.before_day(day)
     py_rng, np_rng = make_day_rngs(root, day)
+    if study.columnar:
+        return _run_study_day_columnar(study, py_rng, np_rng, day, n_households)
     profiles = study.generator.sample_population(np_rng, n_households)
     neighborhood = neighborhood_from_profiles(profiles, study.true_preference)
     reports = {
@@ -133,6 +137,73 @@ def _run_study_day(
         result = allocator.solve(problem, random.Random(spawn_seed(py_rng)))
         profile = LoadProfile.from_schedule(
             result.allocation, neighborhood.households
+        )
+        records.append(
+            AllocatorDayRecord(
+                day=day,
+                n_households=n_households,
+                allocator=allocator.name,
+                par=profile.peak_to_average_ratio(),
+                cost=result.cost,
+                wall_time_s=result.wall_time_s,
+                proven_optimal=result.proven_optimal,
+                nodes_explored=result.nodes_explored,
+                served_tier=result.served_tier,
+            )
+        )
+        if result.served_tier > 0:
+            fallback_payloads.append(
+                {
+                    "allocator": allocator.name,
+                    "served_tier": result.served_tier,
+                    "trail": [record.as_payload() for record in result.fallback_trail],
+                }
+            )
+    return records, quarantine_payloads, fallback_payloads
+
+
+def _run_study_day_columnar(
+    study: "SocialWelfareStudy",
+    py_rng: random.Random,
+    np_rng,
+    day: int,
+    n_households: int,
+) -> StudyDayResult:
+    """The columnar (large-n) study day: no per-household objects.
+
+    Sampling uses :meth:`ProfileGenerator.sample_population_columnar` —
+    its own draw sequence on the day's keyed substream — so the columnar
+    study's records are reproducible per ``(seed, day)`` and bit-identical
+    across worker counts, but are *not* the object study's records at the
+    same seed (see ``docs/performance.md``).
+    """
+    cols = study.generator.sample_population_columnar(np_rng, n_households)
+    neighborhood = cols.to_neighborhood(study.true_preference)
+    reports = ColumnarReports.truthful(neighborhood)
+    quarantine_payloads: List[Dict] = []
+    if study.quarantine is not None:
+        screened = study.quarantine.screen_columnar(
+            neighborhood,
+            reports.start.astype(float),
+            reports.end.astype(float),
+            reports.duration.astype(float),
+        )
+        quarantine_payloads = [
+            decision.as_payload()
+            for decision in screened.decisions
+            if decision.action != "accepted"
+        ]
+        neighborhood = neighborhood.take(screened.kept)
+        reports = screened.accepted
+    compiled = reports.compile(neighborhood, study.pricing)
+    records: List[AllocatorDayRecord] = []
+    fallback_payloads: List[Dict] = []
+    for allocator in study.allocators:
+        result = allocator.solve_columnar(
+            compiled, study.pricing, random.Random(spawn_seed(py_rng))
+        )
+        profile = LoadProfile.from_arrays(
+            result.starts, result.starts + compiled.duration, compiled.rating
         )
         records.append(
             AllocatorDayRecord(
@@ -188,6 +259,11 @@ class SocialWelfareStudy:
             injects malformed reports).
         chaos: Optional deterministic fault injector
             (:class:`repro.robustness.chaos.ChaosInjector`).
+        columnar: Run each day on the columnar (structure-of-arrays) fast
+            path: batched sampling, array allocation kernels, no
+            per-household objects.  Same study semantics, its own sampling
+            substream — records differ from the object path at the same
+            seed but stay bit-identical across worker counts.
     """
 
     def __init__(
@@ -198,6 +274,7 @@ class SocialWelfareStudy:
         true_preference: str = "wide",
         quarantine: Optional[Quarantine] = None,
         chaos: Optional[ChaosInjector] = None,
+        columnar: bool = False,
     ) -> None:
         if not allocators:
             raise ValueError("need at least one allocator to study")
@@ -210,6 +287,7 @@ class SocialWelfareStudy:
         self.true_preference = true_preference
         self.quarantine = quarantine
         self.chaos = chaos
+        self.columnar = columnar
         if (
             chaos is not None
             and chaos.plan.malformed_days
@@ -218,6 +296,11 @@ class SocialWelfareStudy:
             raise ValueError(
                 "chaos injects malformed reports; configure a quarantine to "
                 "absorb them (policy 'clamp' or 'exclude')"
+            )
+        if columnar and chaos is not None and chaos.plan.malformed_days:
+            raise ValueError(
+                "chaos report corruption operates on object reports; the "
+                "columnar path cannot run days with malformed_days planned"
             )
 
     def run(
@@ -440,6 +523,24 @@ def _run_simulation_day(
     )
 
 
+def _run_simulation_day_columnar(
+    task: Tuple["NeighborhoodSimulation", ColumnarNeighborhood, int, int],
+) -> ColumnarDayOutcome:
+    """One columnar mechanism day: truthful reports, closest consumption.
+
+    The columnar twin of :func:`_run_simulation_day`, restricted to the
+    default policies (enforced at construction) because custom policies
+    are written against per-household objects.
+    """
+    simulation, neighborhood, root, day = task
+    if simulation.chaos is not None:
+        simulation.chaos.before_day(day)
+    rng, _ = make_day_rngs(root, day)
+    return simulation.mechanism.run_day_columnar(
+        neighborhood, rng=random.Random(spawn_seed(rng))
+    )
+
+
 class NeighborhoodSimulation:
     """Run the full Enki mechanism over multiple days with custom behaviour.
 
@@ -451,6 +552,11 @@ class NeighborhoodSimulation:
         report_policy: What each household reports every day.
         consumption_policy: What each allocated household consumes.
         chaos: Optional deterministic fault injector.
+        columnar: Run each day through
+            :meth:`EnkiMechanism.run_day_columnar` — the structure-of-
+            arrays fast path.  Requires the default (truthful /
+            closest-feasible) policies, and :meth:`run` then returns
+            :class:`~repro.core.mechanism.ColumnarDayOutcome` items.
     """
 
     def __init__(
@@ -459,11 +565,13 @@ class NeighborhoodSimulation:
         report_policy: ReportPolicy = truthful_report_policy,
         consumption_policy: ConsumptionPolicy = follow_or_closest_policy,
         chaos: Optional[ChaosInjector] = None,
+        columnar: bool = False,
     ) -> None:
         self.mechanism = mechanism if mechanism is not None else EnkiMechanism()
         self.report_policy = report_policy
         self.consumption_policy = consumption_policy
         self.chaos = chaos
+        self.columnar = columnar
         if (
             chaos is not None
             and chaos.plan.malformed_days
@@ -473,6 +581,21 @@ class NeighborhoodSimulation:
                 "chaos injects malformed reports; configure the mechanism "
                 "with a quarantine to absorb them"
             )
+        if columnar:
+            if (
+                report_policy is not truthful_report_policy
+                or consumption_policy is not follow_or_closest_policy
+            ):
+                raise ValueError(
+                    "the columnar path supports only the default truthful/"
+                    "closest-feasible policies (custom policies are written "
+                    "against per-household objects)"
+                )
+            if chaos is not None and chaos.plan.malformed_days:
+                raise ValueError(
+                    "chaos report corruption operates on object reports; the "
+                    "columnar path cannot run days with malformed_days planned"
+                )
 
     def run(
         self,
@@ -501,9 +624,23 @@ class NeighborhoodSimulation:
                 events.
             timeout_s: Stall detector for the parallel runtime.
             retries: Pool retry budget per failed day before inline rerun.
+
+        On the columnar path (``columnar=True``), ``neighborhood`` may be
+        either representation (an object :class:`Neighborhood` is lowered
+        once up front), the returned list holds
+        :class:`~repro.core.mechanism.ColumnarDayOutcome` items, and
+        checkpointing is not supported (outcomes are arrays, not the
+        serialized object form).
         """
         if days < 1:
             raise ValueError(f"days must be >= 1, got {days}")
+        if self.columnar:
+            if checkpoint is not None:
+                raise ValueError(
+                    "checkpointing is not supported on the columnar path"
+                )
+            if isinstance(neighborhood, Neighborhood):
+                neighborhood = ColumnarNeighborhood.from_objects(neighborhood)
         root = root_entropy(seed)
         done: Dict[str, Dict[str, Any]] = {}
         if checkpoint is not None:
@@ -538,7 +675,7 @@ class NeighborhoodSimulation:
             )
 
         computed_list = map_tasks(
-            _run_simulation_day,
+            _run_simulation_day_columnar if self.columnar else _run_simulation_day,
             tasks,
             workers,
             timeout_s=timeout_s,

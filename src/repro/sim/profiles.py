@@ -23,10 +23,11 @@ also start earlier.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.columnar import ColumnarNeighborhood
 from ..core.intervals import HOURS_PER_DAY, Interval
 from ..core.types import (
     DEFAULT_RATING_KW,
@@ -117,6 +118,95 @@ class ProfileGeneratorConfig:
             raise ValueError(f"head slack cannot be negative, got {self.wide_head_slack}")
 
 
+@dataclass(frozen=True)
+class ColumnarProfiles:
+    """A sampled population as parallel arrays, one row per household.
+
+    The columnar twin of a ``List[UsageProfile]``; rows keep the sampled
+    order (ids are ``hh000...``), and the same Section VI distributional
+    invariants hold per row.  ``to_neighborhood`` selects the true window
+    the way :meth:`UsageProfile.as_household` does.
+    """
+
+    ids: Tuple[str, ...]
+    narrow_start: np.ndarray
+    narrow_end: np.ndarray
+    wide_start: np.ndarray
+    wide_end: np.ndarray
+    duration: np.ndarray
+    rating: np.ndarray
+    valuation: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def to_neighborhood(self, true_preference: str = "wide") -> ColumnarNeighborhood:
+        """The columnar neighborhood with the chosen true windows."""
+        if true_preference == "wide":
+            start, end = self.wide_start, self.wide_end
+        elif true_preference == "narrow":
+            start, end = self.narrow_start, self.narrow_end
+        else:
+            raise ValueError(
+                f"true_preference must be 'wide' or 'narrow', got {true_preference!r}"
+            )
+        return ColumnarNeighborhood(
+            ids=self.ids,
+            true_start=start.copy(),
+            true_end=end.copy(),
+            duration=self.duration.copy(),
+            rating=self.rating.copy(),
+            valuation=self.valuation.copy(),
+        )
+
+    def to_profiles(self) -> List[UsageProfile]:
+        """Materialize the object :class:`UsageProfile` list, same order."""
+        return [
+            UsageProfile(
+                household_id=hid,
+                narrow=Preference(Interval(na, nb), v),
+                wide=Preference(Interval(wa, wb), v),
+                valuation_factor=rho,
+                rating_kw=r,
+            )
+            for hid, na, nb, wa, wb, v, r, rho in zip(
+                self.ids,
+                self.narrow_start.tolist(),
+                self.narrow_end.tolist(),
+                self.wide_start.tolist(),
+                self.wide_end.tolist(),
+                self.duration.tolist(),
+                self.rating.tolist(),
+                self.valuation.tolist(),
+            )
+        ]
+
+    @classmethod
+    def from_profiles(cls, profiles: Sequence[UsageProfile]) -> "ColumnarProfiles":
+        """Lower an object profile list (order kept)."""
+        n = len(profiles)
+        return cls(
+            ids=tuple(p.household_id for p in profiles),
+            narrow_start=np.fromiter(
+                (p.narrow.window.start for p in profiles), np.intp, count=n
+            ),
+            narrow_end=np.fromiter(
+                (p.narrow.window.end for p in profiles), np.intp, count=n
+            ),
+            wide_start=np.fromiter(
+                (p.wide.window.start for p in profiles), np.intp, count=n
+            ),
+            wide_end=np.fromiter(
+                (p.wide.window.end for p in profiles), np.intp, count=n
+            ),
+            duration=np.fromiter((p.duration for p in profiles), np.intp, count=n),
+            rating=np.fromiter((p.rating_kw for p in profiles), np.float64, count=n),
+            valuation=np.fromiter(
+                (p.valuation_factor for p in profiles), np.float64, count=n
+            ),
+        )
+
+
 class ProfileGenerator:
     """Draws :class:`UsageProfile` populations per Section VI."""
 
@@ -162,6 +252,61 @@ class ProfileGenerator:
         return [
             self.sample(rng, f"{id_prefix}{index:0{width}d}") for index in range(size)
         ]
+
+    def sample_population_columnar(
+        self,
+        rng: np.random.Generator,
+        size: int,
+        id_prefix: str = "hh",
+    ) -> ColumnarProfiles:
+        """Draw ``size`` profiles with batched array draws — the large-n path.
+
+        Same marginal distributions as :meth:`sample_population` (each
+        field's draw is the vectorized form of the scalar one, in the same
+        per-field order), but the generator is consumed **field by field**
+        rather than household by household, so the draw sequence differs:
+        this is a distinct sampling path on the day's keyed substream, not
+        a reorder of the object path's stream.  Same ``(seed, day)`` gives
+        the same columnar population on every run — it just is not the
+        object path's population.  Equivalence between the two pipelines
+        is established on *identical inputs* via the bridges, not at the
+        sampler.
+        """
+        if size < 1:
+            raise ValueError(f"population size must be >= 1, got {size}")
+        cfg = self.config
+        duration = rng.integers(
+            cfg.min_duration, cfg.max_duration + 1, size=size
+        ).astype(np.intp)
+
+        # Narrow begin: Poisson(16), clipped so that narrow_end + gap <= 24.
+        latest_begin = HOURS_PER_DAY - cfg.wide_end_gap - duration
+        narrow_begin = np.minimum(
+            rng.poisson(cfg.poisson_mean, size=size), latest_begin
+        ).astype(np.intp)
+        narrow_end = narrow_begin + duration
+
+        wide_end = rng.integers(
+            narrow_end + cfg.wide_end_gap, HOURS_PER_DAY + 1
+        ).astype(np.intp)
+        wide_begin = narrow_begin
+        if cfg.wide_head_slack > 0:
+            wide_begin = np.maximum(
+                0, narrow_begin - rng.integers(0, cfg.wide_head_slack + 1, size=size)
+            ).astype(np.intp)
+
+        valuation = rng.uniform(cfg.min_valuation, cfg.max_valuation, size=size)
+        width = len(str(size - 1))
+        return ColumnarProfiles(
+            ids=tuple(f"{id_prefix}{index:0{width}d}" for index in range(size)),
+            narrow_start=narrow_begin,
+            narrow_end=narrow_end,
+            wide_start=wide_begin,
+            wide_end=wide_end,
+            duration=duration,
+            rating=np.full(size, cfg.rating_kw, dtype=np.float64),
+            valuation=valuation,
+        )
 
 
 def neighborhood_from_profiles(

@@ -1,7 +1,5 @@
 """Tests for the command-line interface."""
 
-import pytest
-
 from repro.cli import main
 
 
@@ -37,6 +35,46 @@ class TestCli:
     def test_tab2_with_seed(self, capsys):
         assert main(["tab2", "--seed", "5"]) == 0
         assert "Overall" in capsys.readouterr().out
+
+
+class TestColumnarFlag:
+    def test_fig6_columnar(self, capsys):
+        code = main(
+            [
+                "fig6",
+                "--populations", "8",
+                "--days", "1",
+                "--time-limit", "2.0",
+                "--columnar",
+            ]
+        )
+        assert code == 0
+        assert "Enki (ms)" in capsys.readouterr().out
+
+    def test_simulate_columnar(self, capsys):
+        assert main(["simulate", "--n", "12", "--days", "2", "--columnar"]) == 0
+        out = capsys.readouterr().out
+        assert "defectors" in out
+
+    def test_simulate_columnar_rejects_checkpoint(self, capsys, tmp_path):
+        code = main(
+            [
+                "simulate", "--n", "5", "--days", "1", "--columnar",
+                "--checkpoint", str(tmp_path / "ck.jsonl"),
+            ]
+        )
+        assert code == 2
+        assert "--columnar" in capsys.readouterr().err
+
+    def test_simulate_columnar_rejects_audit(self, capsys, tmp_path):
+        code = main(
+            [
+                "simulate", "--n", "5", "--days", "1", "--columnar",
+                "--audit", str(tmp_path / "audit.jsonl"),
+            ]
+        )
+        assert code == 2
+        assert "--columnar" in capsys.readouterr().err
 
 
 class TestProfileFlag:
