@@ -32,10 +32,16 @@ BENCH_JSON_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_core.j
 
 
 def _cpu_cores() -> int:
+    """Cores this process may actually run on (affinity mask)."""
     try:
         return len(os.sched_getaffinity(0))
     except AttributeError:  # pragma: no cover - non-Linux
         return os.cpu_count() or 1
+
+
+def _cpu_cores_logical() -> int:
+    """Logical cores in the machine, ignoring the affinity mask."""
+    return os.cpu_count() or 1
 
 
 @pytest.fixture(scope="session")
@@ -69,7 +75,11 @@ def bench_json():
     payload["meta"] = {
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": platform.python_version(),
+        # ``cpu_cores`` kept for trajectory compatibility; it equals the
+        # affinity-visible count, which is what parallel speedups obey.
         "cpu_cores": _cpu_cores(),
+        "cpu_cores_visible": _cpu_cores(),
+        "cpu_cores_logical": _cpu_cores_logical(),
         "platform": platform.platform(),
     }
     BENCH_JSON_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

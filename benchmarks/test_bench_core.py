@@ -118,6 +118,68 @@ def test_bench_bnb_n30_smoke(benchmark):
     )
 
 
+def test_bench_study_throughput_workers2(bench_json):
+    """Perf-smoke gate for the parallel day fan-out.
+
+    A columnar greedy study (n=20k x 12 days) run serially and with two
+    workers must return bit-identical records, and on hosts where at
+    least two cores are visible to this process the two-worker run must
+    achieve effective parallelism >= 1.5 (wall-time ratio).
+    Single-visible-core runners skip the gate with a logged reason —
+    fork fan-out cannot beat serial on one core.
+    """
+    import pytest
+
+    from repro.allocation.greedy import GreedyFlexibilityAllocator
+    from repro.sim.engine import SocialWelfareStudy
+    from repro.sim.parallel import available_cores
+
+    study = SocialWelfareStudy(
+        allocators=[GreedyFlexibilityAllocator()], columnar=True
+    )
+    n, days, seed = 20_000, 12, 2017
+
+    started = time.perf_counter()
+    serial = study.run(n, days=days, seed=seed, workers=1)
+    serial_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = study.run(n, days=days, seed=seed, workers=2)
+    parallel_s = time.perf_counter() - started
+
+    def _key(records):
+        return [
+            (r.day, r.n_households, r.allocator, r.par, r.cost,
+             r.proven_optimal, r.nodes_explored, r.served_tier)
+            for r in records
+        ]
+
+    assert _key(serial) == _key(parallel), (
+        "workers=2 day fan-out must be bit-identical to serial"
+    )
+
+    cores = available_cores()
+    effective = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    bench_json(
+        "study_throughput_workers2",
+        n_households=n,
+        days=days,
+        serial_seconds=serial_s,
+        parallel_seconds=parallel_s,
+        effective_parallelism=effective,
+        cpu_cores_visible=cores,
+    )
+    if cores < 2:
+        pytest.skip(
+            f"effective-parallelism gate needs >= 2 visible cores, have "
+            f"{cores} (recorded {effective:.2f}x for the trajectory)"
+        )
+    assert effective >= 1.5, (
+        f"expected effective parallelism >= 1.5 at workers=2 on {cores} "
+        f"visible cores, got {effective:.2f}x"
+    )
+
+
 def test_bench_day_n10k_smoke(benchmark):
     """Perf-smoke gate for the columnar path: a full 10k-household day.
 

@@ -63,6 +63,16 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--bnb-workers",
+        type=_workers_arg,
+        default=None,
+        help=(
+            "worker processes for the exact solver's subtree fan-out "
+            "(fig4/fig5/fig6; 1 = serial, 0 = all cores); completed runs "
+            "are bit-identical to serial"
+        ),
+    )
+    parser.add_argument(
         "--checkpoint",
         type=str,
         default=None,
@@ -164,6 +174,8 @@ def _overrides_for(experiment_id: str, args: argparse.Namespace) -> dict:
             overrides["resume"] = args.resume
         if args.columnar:
             overrides["columnar"] = True
+        if args.bnb_workers is not None:
+            overrides["bnb_workers"] = args.bnb_workers
     if experiment_id == "fig7" and args.repeats is not None:
         overrides["repeats"] = args.repeats
     if experiment_id in {"abl-order", "abl-pricing"} and args.days is not None:
@@ -289,20 +301,39 @@ def _profiled_dispatch(args: argparse.Namespace) -> int:
     Prints the 25 heaviest entries by cumulative time — the hot-path view
     that pointed at the allocator in the first place — and writes the raw
     stats next to the output for later ``pstats``/``snakeviz`` digging.
+
+    With ``--workers`` above 1, each worker process dumps its own
+    ``worker-<pid>.pstats`` into a sibling directory; those are merged
+    into the printed report and the final dump, so time spent inside the
+    fan-out is attributed rather than vanishing into ``map_tasks``.
     """
     import cProfile
+    import glob
+    import os
     import pstats
 
+    from .sim.parallel import WORKER_PROFILE_DIR_ENV as _WORKER_PROFILE_DIR_ENV
+
+    dump_path = _profile_dump_path(args)
+    worker_dir = os.path.splitext(dump_path)[0] + "-workers"
+    os.environ[_WORKER_PROFILE_DIR_ENV] = worker_dir
     profiler = cProfile.Profile()
     try:
         exit_code = profiler.runcall(_dispatch, args)
     finally:
+        os.environ.pop(_WORKER_PROFILE_DIR_ENV, None)
         profiler.create_stats()
         stats = pstats.Stats(profiler, stream=sys.stdout)
+        worker_dumps = sorted(glob.glob(os.path.join(worker_dir, "worker-*.pstats")))
+        for worker_dump in worker_dumps:
+            stats.add(worker_dump)
         stats.sort_stats("cumulative").print_stats(25)
-        dump_path = _profile_dump_path(args)
-        profiler.dump_stats(dump_path)
+        stats.dump_stats(dump_path)
         print(f"profile written to {dump_path}")
+        if worker_dumps:
+            print(
+                f"merged {len(worker_dumps)} worker profile(s) from {worker_dir}"
+            )
     return exit_code
 
 

@@ -120,6 +120,33 @@ class ColumnarNeighborhood:
             ),
         )
 
+    @classmethod
+    def from_trusted(
+        cls,
+        ids: Tuple[HouseholdId, ...],
+        true_start: np.ndarray,
+        true_end: np.ndarray,
+        duration: np.ndarray,
+        rating: np.ndarray,
+        valuation: np.ndarray,
+    ) -> "ColumnarNeighborhood":
+        """Adopt pre-validated arrays as-is, skipping ``__post_init__``.
+
+        For zero-copy reconstruction of views over shared memory
+        (:mod:`repro.sim.shm`): the arrays were validated when the source
+        neighborhood was built, and re-validating (or the implicit
+        ``ascontiguousarray``) would defeat the no-copy transport.  The
+        caller guarantees dtype, contiguity and invariants.
+        """
+        self = cls.__new__(cls)
+        object.__setattr__(self, "ids", ids)
+        object.__setattr__(self, "true_start", true_start)
+        object.__setattr__(self, "true_end", true_end)
+        object.__setattr__(self, "duration", duration)
+        object.__setattr__(self, "rating", rating)
+        object.__setattr__(self, "valuation", valuation)
+        return self
+
     def take(self, keep: np.ndarray) -> "ColumnarNeighborhood":
         """The subset of rows selected by boolean mask ``keep``."""
         idx = np.flatnonzero(keep)
@@ -191,6 +218,26 @@ class ColumnarReports:
             end=neighborhood.true_end.copy(),
             duration=neighborhood.duration.copy(),
         )
+
+    @classmethod
+    def from_trusted(
+        cls,
+        ids: Tuple[HouseholdId, ...],
+        start: np.ndarray,
+        end: np.ndarray,
+        duration: np.ndarray,
+    ) -> "ColumnarReports":
+        """Adopt pre-validated arrays as-is, skipping ``__post_init__``.
+
+        Same contract as :meth:`ColumnarNeighborhood.from_trusted`: used
+        for zero-copy shared-memory views of already-validated rows.
+        """
+        self = cls.__new__(cls)
+        object.__setattr__(self, "ids", ids)
+        object.__setattr__(self, "start", start)
+        object.__setattr__(self, "end", end)
+        object.__setattr__(self, "duration", duration)
+        return self
 
     @classmethod
     def from_objects(

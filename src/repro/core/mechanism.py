@@ -510,6 +510,38 @@ class EnkiMechanism:
             decisions = tuple(screened.decisions)
             neighborhood = neighborhood.take(kept)
         result = self.allocate_columnar(neighborhood, reports, rng)
+        return self.finish_day_columnar(
+            neighborhood, reports, result, kept=kept, decisions=decisions
+        )
+
+    def finish_day_columnar(
+        self,
+        neighborhood: ColumnarNeighborhood,
+        reports: ColumnarReports,
+        result: "ColumnarAllocationResult",
+        kept: Optional[np.ndarray] = None,
+        decisions: Tuple = (),
+    ) -> ColumnarDayOutcome:
+        """Settle an already-allocated columnar day.
+
+        The back half of :meth:`run_day_columnar`, split out so drivers
+        that produce the allocation elsewhere (the row-sharded large-n
+        path in :mod:`repro.sim.engine`) reuse the exact consumption and
+        Eq. 3-8 settlement chain.  The begin slots are (re)validated
+        against the reported windows before anything is settled.
+        """
+        starts = result.starts
+        bad = (starts < reports.start) | (starts + reports.duration > reports.end)
+        if bool(np.any(bad)):
+            i = int(np.argmax(bad))
+            raise IntervalError(
+                f"allocation [{int(starts[i])}, "
+                f"{int(starts[i] + reports.duration[i])}) for "
+                f"{reports.ids[i]!r} violates report window "
+                f"[{int(reports.start[i])}, {int(reports.end[i])})"
+            )
+        if kept is None:
+            kept = np.ones(len(neighborhood), dtype=bool)
 
         # Closest-feasible consumption, vectorized: consumption shares the
         # (metered) duration, so overlap with the allocation is

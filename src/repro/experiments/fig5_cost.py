@@ -85,6 +85,7 @@ def run(
     checkpoint_path: Optional[str] = None,
     resume: bool = False,
     columnar: bool = False,
+    bnb_workers: Optional[int] = 1,
 ) -> Fig5Result:
     """Regenerate Figure 5 from scratch."""
     return extract(
@@ -97,5 +98,6 @@ def run(
             checkpoint_path=checkpoint_path,
             resume=resume,
             columnar=columnar,
+            bnb_workers=bnb_workers,
         )
     )

@@ -86,6 +86,7 @@ def run(
     checkpoint_path: Optional[str] = None,
     resume: bool = False,
     columnar: bool = False,
+    bnb_workers: Optional[int] = 1,
 ) -> Fig6Result:
     """Regenerate Figure 6 from scratch.
 
@@ -105,5 +106,6 @@ def run(
             checkpoint_path=checkpoint_path,
             resume=resume,
             columnar=columnar,
+            bnb_workers=bnb_workers,
         )
     )

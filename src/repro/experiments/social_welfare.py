@@ -51,6 +51,7 @@ def run_social_welfare_study(
     checkpoint_path: Optional[str] = None,
     resume: bool = False,
     columnar: bool = False,
+    bnb_workers: Optional[int] = 1,
 ) -> SocialWelfareResult:
     """Run the Figures 4-6 study once.
 
@@ -72,6 +73,10 @@ def run_social_welfare_study(
         columnar: Run each day on the structure-of-arrays fast path (its
             own sampling substream; required for very large populations —
             see ``docs/performance.md``).
+        bnb_workers: Worker processes for the exact solver's subtree
+            fan-out (``1`` = serial, ``0`` = all cores). Completed runs
+            stay bit-identical to serial; anytime runs may prove *more*
+            days within the same wall budget.
     """
     checkpoint = (
         CheckpointStore(checkpoint_path, fresh=not resume)
@@ -81,7 +86,9 @@ def run_social_welfare_study(
     study = SocialWelfareStudy(
         allocators=[
             GreedyFlexibilityAllocator(),
-            BranchAndBoundAllocator(time_limit_s=optimal_time_limit_s),
+            BranchAndBoundAllocator(
+                time_limit_s=optimal_time_limit_s, workers=bnb_workers
+            ),
         ],
         columnar=columnar,
     )

@@ -30,10 +30,17 @@ recovered worker failure.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import asdict, dataclass, fields as dataclass_fields
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..allocation.base import AllocationProblem, Allocator
+import numpy as np
+
+from ..allocation.base import (
+    AllocationProblem,
+    Allocator,
+    ColumnarAllocationResult,
+)
 from ..core.columnar import ColumnarNeighborhood, ColumnarReports
 from ..core.intervals import Interval
 from ..core.mechanism import (
@@ -60,6 +67,7 @@ from ..robustness.quarantine import Quarantine
 from .parallel import DEFAULT_RETRIES, map_tasks
 from .profiles import ProfileGenerator, neighborhood_from_profiles
 from .rng import make_day_rngs, root_entropy, spawn_seed
+from .shm import SharedArena, SharedColumnarDay
 
 
 @dataclass(frozen=True)
@@ -541,6 +549,114 @@ def _run_simulation_day_columnar(
     )
 
 
+def _run_simulation_day_shm(
+    task: Tuple["NeighborhoodSimulation", SharedColumnarDay, int, int],
+) -> ColumnarDayOutcome:
+    """The shared-memory twin of :func:`_run_simulation_day_columnar`.
+
+    The task carries a :class:`~repro.sim.shm.SharedColumnarDay`
+    descriptor (a few hundred bytes) instead of the neighborhood itself;
+    the worker reconstructs zero-copy array views over the parent's
+    shared segment.  Everything downstream is the same code, so outcomes
+    are bit-identical to the pickle transport and to serial runs.
+    """
+    simulation, day, root, day_index = task
+    if simulation.chaos is not None:
+        simulation.chaos.before_day(day_index)
+    rng, _ = make_day_rngs(root, day_index)
+    return simulation.mechanism.run_day_columnar(
+        day.neighborhood(), rng=random.Random(spawn_seed(rng))
+    )
+
+
+def _solve_day_shard(
+    task: Tuple[SharedColumnarDay, int, int, Allocator, Any, int],
+) -> np.ndarray:
+    """Solve one contiguous row shard of a shared columnar day.
+
+    Compiles rows ``[lo, hi)`` straight from the shared segment (no copy)
+    and runs the allocator's columnar kernel on that slice alone; returns
+    the shard's begin-slot vector.
+    """
+    day, lo, hi, allocator, pricing, seed = task
+    compiled = day.compile_rows(lo, hi, pricing)
+    return allocator.solve_columnar(compiled, pricing, random.Random(seed)).starts
+
+
+def run_columnar_day_sharded(
+    mechanism: EnkiMechanism,
+    neighborhood: ColumnarNeighborhood,
+    shards: int,
+    workers: Optional[int] = 1,
+    rng: Optional[random.Random] = None,
+) -> ColumnarDayOutcome:
+    """One truthful columnar day with the allocation sharded across rows.
+
+    The city-scale (1M-household) path: the day is packed once into
+    shared memory, each worker compiles and solves a contiguous row slice
+    independently, and the parent concatenates the begin slots, validates
+    them and settles once through
+    :meth:`~repro.core.mechanism.EnkiMechanism.finish_day_columnar`.
+
+    Sharding changes the solution: each shard schedules against an empty
+    profile, blind to the others, so the result is an approximation of
+    the unsharded allocation (fine for the greedy allocator's throughput
+    studies; meaningless for an exact solver).  It is deterministic given
+    ``(neighborhood, shards, seed)`` — shard seeds are drawn from ``rng``
+    in shard order up front — and therefore bit-identical across worker
+    counts.  ``shards=1`` is exactly :meth:`~repro.core.mechanism.
+    EnkiMechanism.run_day_columnar`.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if isinstance(neighborhood, Neighborhood):
+        neighborhood = ColumnarNeighborhood.from_objects(neighborhood)
+    rng = rng if rng is not None else random.Random(mechanism._seed)
+    if shards == 1:
+        return mechanism.run_day_columnar(neighborhood, rng=rng)
+
+    started_at = time.perf_counter()
+    reports = ColumnarReports.truthful(neighborhood)
+    decisions: Tuple = ()
+    kept = np.ones(len(neighborhood), dtype=bool)
+    if mechanism.quarantine is not None:
+        screened = mechanism.quarantine.screen_columnar(
+            neighborhood,
+            reports.start.astype(float),
+            reports.end.astype(float),
+            reports.duration.astype(float),
+        )
+        reports = screened.accepted
+        kept = screened.kept
+        decisions = tuple(screened.decisions)
+        neighborhood = neighborhood.take(kept)
+    n = len(neighborhood)
+    shards = max(1, min(shards, n))
+    seeds = [spawn_seed(rng) for _ in range(shards)]
+    edges = [n * i // shards for i in range(shards + 1)]
+    with SharedArena() as arena:
+        day = arena.pack_day(neighborhood)
+        tasks = [
+            (day, edges[i], edges[i + 1], mechanism.allocator, mechanism.pricing,
+             seeds[i])
+            for i in range(shards)
+        ]
+        shard_starts = map_tasks(_solve_day_shard, tasks, workers=workers)
+    starts = np.concatenate(shard_starts) if shard_starts else np.zeros(0, np.intp)
+    profile = LoadProfile.from_arrays(
+        starts, starts + neighborhood.duration, neighborhood.rating
+    )
+    result = ColumnarAllocationResult(
+        starts=starts,
+        cost=mechanism.pricing.cost(profile),
+        wall_time_s=time.perf_counter() - started_at,
+        allocator_name=f"{mechanism.allocator.name}+shard{shards}",
+    )
+    return mechanism.finish_day_columnar(
+        neighborhood, reports, result, kept=kept, decisions=decisions
+    )
+
+
 class NeighborhoodSimulation:
     """Run the full Enki mechanism over multiple days with custom behaviour.
 
@@ -608,6 +724,7 @@ class NeighborhoodSimulation:
         audit: Optional[AuditLog] = None,
         timeout_s: Optional[float] = None,
         retries: int = DEFAULT_RETRIES,
+        transport: str = "auto",
     ) -> List[DayOutcome]:
         """Simulate ``days`` settled days for a fixed neighborhood.
 
@@ -624,6 +741,15 @@ class NeighborhoodSimulation:
                 events.
             timeout_s: Stall detector for the parallel runtime.
             retries: Pool retry budget per failed day before inline rerun.
+            transport: How columnar day tasks reach workers.  ``"shm"``
+                packs the neighborhood once into a shared-memory segment
+                and ships a tiny descriptor per day (zero-copy views in
+                the workers); ``"pickle"`` serializes the neighborhood
+                into every task (the pre-shm behaviour); ``"auto"``
+                (default) picks ``"shm"`` whenever the columnar day loop
+                fans out to workers.  Outcomes are bit-identical across
+                transports.  Non-columnar runs must leave this ``"auto"``
+                or ``"pickle"``.
 
         On the columnar path (``columnar=True``), ``neighborhood`` may be
         either representation (an object :class:`Neighborhood` is lowered
@@ -634,6 +760,15 @@ class NeighborhoodSimulation:
         """
         if days < 1:
             raise ValueError(f"days must be >= 1, got {days}")
+        if transport not in ("auto", "pickle", "shm"):
+            raise ValueError(
+                f"transport must be 'auto', 'pickle' or 'shm', got {transport!r}"
+            )
+        if transport == "shm" and not self.columnar:
+            raise ValueError(
+                "the shared-memory transport carries columnar arrays; "
+                "construct the simulation with columnar=True"
+            )
         if self.columnar:
             if checkpoint is not None:
                 raise ValueError(
@@ -653,7 +788,19 @@ class NeighborhoodSimulation:
         pending = [
             day for day in range(days) if day_key(day, checkpoint_prefix) not in done
         ]
-        tasks = [(self, neighborhood, root, day) for day in pending]
+        day_fn: Callable = (
+            _run_simulation_day_columnar if self.columnar else _run_simulation_day
+        )
+        day_ref: Any = neighborhood
+        arena: Optional[SharedArena] = None
+        if self.columnar and (
+            transport == "shm"
+            or (transport == "auto" and workers not in (None, 1))
+        ):
+            arena = SharedArena()
+            day_ref = arena.pack_day(neighborhood)
+            day_fn = _run_simulation_day_shm
+        tasks = [(self, day_ref, root, day) for day in pending]
 
         def _persist(index: int, outcome: DayOutcome) -> None:
             checkpoint.append(
@@ -674,15 +821,19 @@ class NeighborhoodSimulation:
                 )
             )
 
-        computed_list = map_tasks(
-            _run_simulation_day_columnar if self.columnar else _run_simulation_day,
-            tasks,
-            workers,
-            timeout_s=timeout_s,
-            retries=retries,
-            on_result=_persist if checkpoint is not None else None,
-            on_failure=_log_failure if audit is not None else None,
-        )
+        try:
+            computed_list = map_tasks(
+                day_fn,
+                tasks,
+                workers,
+                timeout_s=timeout_s,
+                retries=retries,
+                on_result=_persist if checkpoint is not None else None,
+                on_failure=_log_failure if audit is not None else None,
+            )
+        finally:
+            if arena is not None:
+                arena.dispose()
         computed = dict(zip(pending, computed_list))
 
         outcomes: List[DayOutcome] = []

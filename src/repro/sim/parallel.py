@@ -62,13 +62,31 @@ DEFAULT_RETRIES = 2
 #: Default base of the exponential retry backoff, in seconds.
 DEFAULT_BACKOFF_S = 0.05
 
+#: Environment variable naming a directory for per-worker cProfile dumps.
+#: Set by ``repro --profile`` with ``--workers > 1``; workers accumulate a
+#: profile across their chunks and dump ``worker-<pid>.pstats`` at exit.
+WORKER_PROFILE_DIR_ENV = "REPRO_WORKER_PROFILE_DIR"
+
+#: Set once the single-visible-core warning has fired (per process).
+_single_core_warned = False
+
 
 def available_cores() -> int:
-    """Best-effort count of usable CPU cores (at least 1)."""
+    """Cores this *process* may run on (affinity-visible; at least 1).
+
+    This is what parallel speedup is bounded by — containers and cpusets
+    routinely expose fewer cores than the machine has.  See
+    :func:`logical_cores` for the machine-wide count.
+    """
     try:
         return len(os.sched_getaffinity(0))  # respects cpusets/containers
     except AttributeError:  # pragma: no cover - non-Linux fallback
         return os.cpu_count() or 1
+
+
+def logical_cores() -> int:
+    """The machine's logical CPU count, ignoring affinity masks."""
+    return os.cpu_count() or 1
 
 
 def resolve_workers(workers: Optional[int]) -> int:
@@ -94,16 +112,80 @@ def resolve_workers(workers: Optional[int]) -> int:
     cores = available_cores()
     if workers > cores:
         _logger.warning(
-            "workers=%d exceeds the %d available core(s); effective "
+            "workers=%d exceeds the %d affinity-visible core(s); effective "
             "parallelism is %d (the OS will time-slice the rest)",
             workers, cores, cores,
         )
+    if workers > 1 and cores == 1:
+        global _single_core_warned
+        if not _single_core_warned:
+            _single_core_warned = True
+            _logger.warning(
+                "only one core is visible to this process (affinity mask); "
+                "workers=%d will fan out but speedup will be ~1x",
+                workers,
+            )
     return workers
+
+
+_worker_profiler = None
+_worker_profile_dumped = False
+
+
+def _ensure_worker_profiler(profile_dir: str):
+    """This worker process's accumulating profiler (created on first use).
+
+    A forked worker can inherit the parent's *active* cProfile hook
+    (``--profile`` runs); that hook is dropped first — the parent profiler
+    cannot observe this process anyway, and two active profilers are an
+    error.  The dump is registered both with :mod:`multiprocessing`'s
+    finalizers (pool workers skip ``atexit``) and ``atexit`` (inline
+    fallback runs in odd hosts), deduplicated by a flag.
+    """
+    global _worker_profiler
+    if _worker_profiler is None:
+        import cProfile
+        import sys
+        from multiprocessing import util as mp_util
+
+        sys.setprofile(None)
+        _worker_profiler = cProfile.Profile()
+        pid = os.getpid()
+        mp_util.Finalize(
+            None, _dump_worker_profile, args=(profile_dir, pid), exitpriority=10
+        )
+        import atexit
+
+        atexit.register(_dump_worker_profile, profile_dir, pid)
+    return _worker_profiler
+
+
+def _dump_worker_profile(profile_dir: str, pid: int) -> None:
+    """Write this worker's accumulated profile once (idempotent)."""
+    global _worker_profile_dumped
+    if _worker_profile_dumped or _worker_profiler is None or os.getpid() != pid:
+        return
+    _worker_profile_dumped = True
+    try:
+        os.makedirs(profile_dir, exist_ok=True)
+        _worker_profiler.dump_stats(
+            os.path.join(profile_dir, f"worker-{pid}.pstats")
+        )
+    except Exception:  # pragma: no cover - profiling must never fail a run
+        _logger.exception("failed to dump worker profile")
 
 
 def _call_chunk(fn: Callable[[_P], _R], chunk: Sequence[_P]) -> List[_R]:
     """Run one submission unit in a worker (module-level: picklable)."""
-    return [fn(payload) for payload in chunk]
+    profile_dir = os.environ.get(WORKER_PROFILE_DIR_ENV)
+    if not profile_dir:
+        return [fn(payload) for payload in chunk]
+    profiler = _ensure_worker_profiler(profile_dir)
+    profiler.enable()
+    try:
+        return [fn(payload) for payload in chunk]
+    finally:
+        profiler.disable()
 
 
 def _kill_pool(pool: ProcessPoolExecutor) -> None:

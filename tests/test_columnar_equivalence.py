@@ -11,6 +11,7 @@ the vectorized kernels are provably bit-identical to the scalar
 arithmetic.
 """
 
+import os
 import random
 
 import numpy as np
@@ -32,7 +33,8 @@ from repro.pricing.quadratic import QuadraticPricing
 from repro.robustness import ChaosInjector, ChaosPlan
 from repro.robustness.errors import InvalidReportError
 from repro.robustness.quarantine import Quarantine, RawReport
-from repro.sim.engine import SocialWelfareStudy
+from repro.sim import shm
+from repro.sim.engine import NeighborhoodSimulation, SocialWelfareStudy
 from repro.sim.profiles import ColumnarProfiles, ProfileGenerator
 
 #: Exactly-representable ratings (binary fractions), the paper's 2.0 among
@@ -372,3 +374,67 @@ class TestColumnarChaos:
             [GreedyFlexibilityAllocator()], columnar=True
         ).run(12, 6, seed=2024, workers=1)
         assert _columnar_study_key(chaotic) == _columnar_study_key(clean)
+
+
+def _sim_outcome_key(outcomes):
+    """Everything a ColumnarDayOutcome decides, minus wall-clock time."""
+    return [
+        (
+            o.allocation_starts.tolist(),
+            o.consumption_starts.tolist(),
+            o.settlement.ids,
+            o.settlement.total_cost,
+            o.settlement.payments.tolist(),
+        )
+        for o in outcomes
+    ]
+
+
+def _wide_columnar_neighborhood(n, seed):
+    cols = ProfileGenerator().sample_population_columnar(
+        np.random.default_rng(seed), n
+    )
+    return cols.to_neighborhood("wide")
+
+
+class TestSharedMemoryEquivalence:
+    """The shm transport is a pure transport change: results bit-identical."""
+
+    def test_shm_workers4_matches_pickle_serial(self):
+        neighborhood = _wide_columnar_neighborhood(35, seed=9)
+        simulation = NeighborhoodSimulation(EnkiMechanism(seed=1), columnar=True)
+        serial = simulation.run(
+            neighborhood, days=4, seed=321, workers=1, transport="pickle"
+        )
+        fanned = simulation.run(
+            neighborhood, days=4, seed=321, workers=4, transport="shm"
+        )
+        assert _sim_outcome_key(serial) == _sim_outcome_key(fanned)
+        assert shm.active_segments() == ()
+
+
+@pytest.mark.chaos
+class TestSharedMemoryChaos:
+    """SIGKILLed workers must not leak shared-memory segments."""
+
+    def test_killed_workers_leak_no_segments(self, tmp_path):
+        plan = ChaosPlan(root=31, crash_days=frozenset({0, 2}))
+        injector = ChaosInjector(plan, fault_dir=str(tmp_path / "faults"))
+        neighborhood = _wide_columnar_neighborhood(30, seed=13)
+        chaotic = NeighborhoodSimulation(
+            EnkiMechanism(seed=1), chaos=injector, columnar=True
+        ).run(neighborhood, days=5, seed=99, workers=4, transport="shm")
+        clean = NeighborhoodSimulation(
+            EnkiMechanism(seed=1), columnar=True
+        ).run(neighborhood, days=5, seed=99, workers=1, transport="pickle")
+        # Crashed-and-retried days converge to the clean serial outcomes...
+        assert _sim_outcome_key(chaotic) == _sim_outcome_key(clean)
+        # ...and the arena's registry is empty: every owned segment was
+        # unlinked even though some attached workers died mid-day.
+        assert shm.active_segments() == ()
+        leftovers = [
+            name
+            for name in os.listdir("/dev/shm")
+            if name.startswith(f"enki-{os.getpid()}-")
+        ]
+        assert leftovers == []

@@ -15,13 +15,23 @@ Wall times are excluded from every comparison: they legitimately vary
 between runs and carry no scheduling information.
 """
 
+import os
+import pickle
+import random
+
 import numpy as np
 import pytest
 
 from repro.allocation.greedy import GreedyFlexibilityAllocator
 from repro.allocation.optimal import BranchAndBoundAllocator
 from repro.core.mechanism import EnkiMechanism
-from repro.sim.engine import NeighborhoodSimulation, SocialWelfareStudy
+from repro.sim import parallel as parallel_mod
+from repro.sim import shm
+from repro.sim.engine import (
+    NeighborhoodSimulation,
+    SocialWelfareStudy,
+    run_columnar_day_sharded,
+)
 from repro.sim.parallel import available_cores, map_tasks, resolve_workers
 from repro.sim.profiles import ProfileGenerator, neighborhood_from_profiles
 from repro.sim.rng import make_day_rngs
@@ -171,3 +181,178 @@ class TestWorkerPlumbing:
     def test_engine_rejects_zero_days(self):
         with pytest.raises(ValueError):
             _study().run(8, days=0, seed=SEED)
+
+    def test_single_visible_core_warns_once(self, caplog, monkeypatch):
+        monkeypatch.setattr(parallel_mod, "available_cores", lambda: 1)
+        monkeypatch.setattr(parallel_mod, "_single_core_warned", False)
+        with caplog.at_level("WARNING", logger="repro.sim.parallel"):
+            resolve_workers(4)
+            resolve_workers(4)
+        single_core = [
+            record
+            for record in caplog.records
+            if "only one core is visible" in record.getMessage()
+        ]
+        assert len(single_core) == 1, "single-core hint must log exactly once"
+
+
+def _columnar_neighborhood(n=40, seed=11):
+    cols = ProfileGenerator().sample_population_columnar(
+        np.random.default_rng(seed), n
+    )
+    return cols.to_neighborhood("wide")
+
+
+def _columnar_outcome_key(outcomes):
+    """Everything a ColumnarDayOutcome decides, minus wall-clock time."""
+    return [
+        (
+            o.allocation_starts.tolist(),
+            o.consumption_starts.tolist(),
+            o.kept.tolist(),
+            o.settlement.ids,
+            o.settlement.total_cost,
+            o.settlement.payments.tolist(),
+            o.settlement.valuations.tolist(),
+        )
+        for o in outcomes
+    ]
+
+
+class TestSharedMemoryTransport:
+    """The shm day transport must be invisible in the results."""
+
+    def test_shm_matches_pickle_serial(self):
+        neighborhood = _columnar_neighborhood()
+        simulation = NeighborhoodSimulation(EnkiMechanism(seed=0), columnar=True)
+        via_pickle = simulation.run(
+            neighborhood, days=3, seed=SEED, workers=1, transport="pickle"
+        )
+        via_shm = simulation.run(
+            neighborhood, days=3, seed=SEED, workers=1, transport="shm"
+        )
+        assert _columnar_outcome_key(via_pickle) == _columnar_outcome_key(via_shm)
+
+    def test_shm_workers4_bit_identical_and_leak_free(self):
+        neighborhood = _columnar_neighborhood()
+        simulation = NeighborhoodSimulation(EnkiMechanism(seed=0), columnar=True)
+        serial = simulation.run(
+            neighborhood, days=4, seed=SEED, workers=1, transport="pickle"
+        )
+        fanned = simulation.run(
+            neighborhood, days=4, seed=SEED, workers=4, transport="shm"
+        )
+        assert _columnar_outcome_key(serial) == _columnar_outcome_key(fanned)
+        assert shm.active_segments() == ()
+
+    def test_auto_transport_uses_shm_for_parallel_columnar(self):
+        neighborhood = _columnar_neighborhood(n=20)
+        simulation = NeighborhoodSimulation(EnkiMechanism(seed=0), columnar=True)
+        serial = simulation.run(neighborhood, days=2, seed=SEED, workers=1)
+        fanned = simulation.run(neighborhood, days=2, seed=SEED, workers=2)
+        assert _columnar_outcome_key(serial) == _columnar_outcome_key(fanned)
+        assert shm.active_segments() == ()
+
+    def test_shm_requires_columnar(self):
+        simulation = NeighborhoodSimulation(EnkiMechanism(seed=0))
+        with pytest.raises(ValueError, match="columnar"):
+            simulation.run(_neighborhood(), days=1, seed=SEED, transport="shm")
+
+    def test_unknown_transport_rejected(self):
+        simulation = NeighborhoodSimulation(EnkiMechanism(seed=0), columnar=True)
+        with pytest.raises(ValueError, match="transport"):
+            simulation.run(
+                _columnar_neighborhood(n=10), days=1, seed=SEED, transport="mmap"
+            )
+
+
+class TestSharedArena:
+    def test_pack_day_roundtrip_is_zero_copy(self):
+        neighborhood = _columnar_neighborhood(n=500)
+        with shm.SharedArena() as arena:
+            day = arena.pack_day(neighborhood)
+            # The descriptor stays tiny no matter the population size.
+            assert len(pickle.dumps(day)) < 2_000
+            assert len(day) == len(neighborhood)
+            rebuilt = day.neighborhood()
+            assert rebuilt.ids == neighborhood.ids
+            np.testing.assert_array_equal(rebuilt.rating, neighborhood.rating)
+            np.testing.assert_array_equal(
+                rebuilt.true_start, neighborhood.true_start
+            )
+            # Reconstruction is cached and its arrays are views, not copies.
+            assert day.neighborhood() is rebuilt
+            assert not rebuilt.rating.flags.writeable
+            assert arena is not None
+            assert shm.active_segments() != ()
+        assert shm.active_segments() == ()
+
+    def test_dispose_is_idempotent_and_unlinks(self):
+        arena = shm.SharedArena()
+        day = arena.pack_day(_columnar_neighborhood(n=8))
+        name = day.segment
+        assert name in shm.active_segments()
+        arena.dispose()
+        arena.dispose()
+        assert name not in shm.active_segments()
+        assert not os.path.exists(f"/dev/shm/{name}")
+
+    def test_share_floats_roundtrip(self):
+        with shm.SharedArena() as arena:
+            name = arena.share_floats(4, float("inf"))
+            view = shm.attach_floats(name, 4)
+            assert np.all(np.isinf(view))
+            view[2] = 7.5
+            assert arena.floats(name, 4)[2] == 7.5
+
+    def test_compile_rows_matches_full_compile(self):
+        neighborhood = _columnar_neighborhood(n=30)
+        with shm.SharedArena() as arena:
+            day = arena.pack_day(neighborhood)
+            compiled = day.compile_rows(5, 20, None)
+            assert compiled.ids == neighborhood.ids[5:20]
+            np.testing.assert_array_equal(
+                np.asarray(compiled.duration), neighborhood.duration[5:20]
+            )
+            with pytest.raises(ValueError):
+                day.compile_rows(-1, 5, None)
+            with pytest.raises(ValueError):
+                day.compile_rows(0, len(neighborhood) + 1, None)
+
+    def test_exotic_ids_take_pickle_route(self):
+        encoding, _ = shm._encode_ids(("hh0", "hh1"))
+        assert encoding == "bytes"
+        for ids in ((), ("",), ("hh0", "hh1\x00"), ("hh0", 1)):
+            encoding, arr = shm._encode_ids(ids)
+            assert encoding == "pickle"
+            assert shm._decode_ids(arr, encoding) == tuple(ids)
+
+
+class TestShardedColumnarDay:
+    def test_shards_one_equals_unsharded_day(self):
+        neighborhood = _columnar_neighborhood(n=25)
+        mechanism = EnkiMechanism(seed=0)
+        direct = mechanism.run_day_columnar(neighborhood, rng=random.Random(7))
+        sharded = run_columnar_day_sharded(
+            mechanism, neighborhood, shards=1, rng=random.Random(7)
+        )
+        assert _columnar_outcome_key([direct]) == _columnar_outcome_key([sharded])
+
+    def test_worker_count_does_not_change_sharded_day(self):
+        neighborhood = _columnar_neighborhood(n=60)
+        mechanism = EnkiMechanism(seed=0)
+        serial = run_columnar_day_sharded(
+            mechanism, neighborhood, shards=3, workers=1, rng=random.Random(7)
+        )
+        fanned = run_columnar_day_sharded(
+            mechanism, neighborhood, shards=3, workers=4, rng=random.Random(7)
+        )
+        assert _columnar_outcome_key([serial]) == _columnar_outcome_key([fanned])
+        assert serial.allocation_result.allocator_name.endswith("+shard3")
+        assert shm.active_segments() == ()
+
+    def test_rejects_nonpositive_shards(self):
+        with pytest.raises(ValueError):
+            run_columnar_day_sharded(
+                EnkiMechanism(seed=0), _columnar_neighborhood(n=5), shards=0
+            )

@@ -1,0 +1,119 @@
+"""Determinism regressions for the parallel branch-and-bound.
+
+``BranchAndBoundAllocator(workers=k)`` explores disjoint warm-start
+subtrees in worker processes against a shared incumbent board.  The
+merge is engineered to replay the serial incumbent trajectory exactly
+(see ``docs/solver.md`` / ``docs/performance.md``), so on instances the
+serial search completes, every observable of the result — cost,
+allocation, ``proven_optimal``, ``root_bound_matched`` — must be
+bit-identical to ``workers=1``.  ``nodes_explored`` is excluded: the
+fan-out legitimately visits a superset of the serial nodes.
+
+Instances reuse the §VI generator so ratings are the paper's uniform
+2 kW — the regime where cost quantization makes the bit-identity claim
+exact (see the allocator's docstring).
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.allocation.base import AllocationProblem
+from repro.allocation.optimal import BranchAndBoundAllocator
+from repro.core.mechanism import truthful_reports
+from repro.pricing.quadratic import QuadraticPricing
+from repro.sim import shm
+from repro.sim.profiles import ProfileGenerator, neighborhood_from_profiles
+
+
+def _problem(n, seed):
+    generator = ProfileGenerator()
+    profiles = generator.sample_population(np.random.default_rng(seed), n)
+    neighborhood = neighborhood_from_profiles(profiles, "wide")
+    return AllocationProblem.from_reports(
+        truthful_reports(neighborhood), neighborhood.households, QuadraticPricing()
+    )
+
+
+def _observables(result):
+    return (
+        result.cost,
+        result.allocation,
+        result.proven_optimal,
+        result.root_bound_matched,
+    )
+
+
+class TestParallelBnbBitIdentity:
+    @pytest.mark.parametrize("seed", [1, 2, 5, 2017])
+    @pytest.mark.parametrize("n", [6, 11])
+    def test_workers2_matches_serial(self, n, seed):
+        problem = _problem(n, seed)
+        serial = BranchAndBoundAllocator(time_limit_s=60.0).solve(
+            problem, random.Random(0)
+        )
+        fanned = BranchAndBoundAllocator(time_limit_s=60.0, workers=2).solve(
+            problem, random.Random(0)
+        )
+        assert serial.proven_optimal, "instance sized to complete serially"
+        assert _observables(serial) == _observables(fanned)
+
+    def test_workers4_matches_serial(self):
+        problem = _problem(13, 7)
+        serial = BranchAndBoundAllocator(time_limit_s=60.0).solve(
+            problem, random.Random(0)
+        )
+        fanned = BranchAndBoundAllocator(time_limit_s=60.0, workers=4).solve(
+            problem, random.Random(0)
+        )
+        assert _observables(serial) == _observables(fanned)
+
+    def test_gap_tolerance_matches_serial(self):
+        problem = _problem(12, 3)
+        serial = BranchAndBoundAllocator(time_limit_s=60.0, gap=0.05).solve(
+            problem, random.Random(0)
+        )
+        fanned = BranchAndBoundAllocator(
+            time_limit_s=60.0, gap=0.05, workers=2
+        ).solve(problem, random.Random(0))
+        assert _observables(serial) == _observables(fanned)
+
+    def test_tiny_instance_matches_serial(self):
+        # n=1 collapses to the warm start before any frontier exists.
+        problem = _problem(1, 4)
+        serial = BranchAndBoundAllocator(time_limit_s=60.0).solve(
+            problem, random.Random(0)
+        )
+        fanned = BranchAndBoundAllocator(time_limit_s=60.0, workers=2).solve(
+            problem, random.Random(0)
+        )
+        assert _observables(serial) == _observables(fanned)
+
+    def test_no_warm_start_falls_back_to_serial(self):
+        problem = _problem(8, 6)
+        serial = BranchAndBoundAllocator(
+            time_limit_s=60.0, warm_start=False
+        ).solve(problem, random.Random(0))
+        fanned = BranchAndBoundAllocator(
+            time_limit_s=60.0, warm_start=False, workers=2
+        ).solve(problem, random.Random(0))
+        assert _observables(serial) == _observables(fanned)
+
+
+class TestParallelBnbAnytime:
+    def test_node_limited_run_is_feasible_not_proven(self):
+        # n=30 at this seed needs far more than 40 nodes to prove.
+        problem = _problem(30, 8)
+        result = BranchAndBoundAllocator(node_limit=40, workers=2).solve(
+            problem, random.Random(0)
+        )
+        assert problem.is_feasible(result.allocation)
+        assert not result.proven_optimal
+
+    def test_fanout_leaks_no_segments(self):
+        problem = _problem(12, 9)
+        BranchAndBoundAllocator(time_limit_s=60.0, workers=4).solve(
+            problem, random.Random(0)
+        )
+        assert shm.active_segments() == ()
