@@ -1,0 +1,71 @@
+"""Benchmarks for the supervised shard service (the ``city`` path).
+
+These track what the service layer adds on top of the bare columnar day:
+shared-memory packing, supervision, journaling and settlement records.
+``city_n10k`` is the CI perf-smoke gate for the service; ``city_n1m`` is
+the headline — one million households sharded through the supervised
+service — and is ``slow``-marked, recorded into ``BENCH_core.json`` for
+the scaling table in ``docs/performance.md``.  Wall-clock budgets only
+bind on hosts with 4+ visible cores: below that the pool time-slices and
+the numbers measure the scheduler, not the service.
+"""
+
+import pytest
+
+from repro.mechanisms.enki import serving_mechanism
+from repro.service import serve_city
+from repro.sim.parallel import available_cores
+
+#: Perf-smoke budget for the 10k-household city on 4+ core hosts.
+_CITY_N10K_BUDGET_S = 10.0
+
+#: Acceptance budget for the 1M-household city on 4+ core hosts.
+_CITY_N1M_BUDGET_S = 120.0
+
+
+def _serve(n, shards, workers):
+    result = serve_city(
+        n=n,
+        shards=shards,
+        workers=workers,
+        seed=2017,
+        mechanism=serving_mechanism(seed=2017),
+    )
+    assert result.settled == shards
+    assert result.n_households == n
+    assert result.degraded == ()
+    assert result.all_budget_balanced()
+    return result
+
+
+def test_bench_city_n10k(bench_json):
+    """Perf-smoke gate: a 10k-household city through the full service."""
+    cores = available_cores()
+    workers = min(4, cores)
+    result = _serve(10_000, shards=8, workers=workers)
+    bench_json(
+        "city_n10k",
+        seconds=result.wall_time_s,
+        n_households=10_000,
+        shards=8,
+        workers=workers,
+    )
+    if cores >= 4:
+        assert result.wall_time_s < _CITY_N10K_BUDGET_S
+
+
+@pytest.mark.slow
+def test_bench_city_n1m(bench_json):
+    """The headline: one million households, supervised, in one run."""
+    cores = available_cores()
+    workers = min(8, max(1, cores))
+    result = _serve(1_000_000, shards=32, workers=workers)
+    bench_json(
+        "city_n1m",
+        seconds=result.wall_time_s,
+        n_households=1_000_000,
+        shards=32,
+        workers=workers,
+    )
+    if cores >= 4:
+        assert result.wall_time_s < _CITY_N1M_BUDGET_S

@@ -44,13 +44,34 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (see 'list'), or 'all', 'list', 'simulate'",
+        help="experiment id (see 'list'), or 'all', 'list', 'simulate', 'city'",
     )
     parser.add_argument(
-        "--n", type=int, default=20, help="households (simulate)"
+        "--n", type=int, default=20, help="households (simulate/city)"
     )
     parser.add_argument(
-        "--audit", type=str, default=None, help="JSONL audit log path (simulate)"
+        "--audit",
+        type=str,
+        default=None,
+        help="JSONL audit log path (simulate/city)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=8,
+        help="shards the city is split into (city)",
+    )
+    parser.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=64,
+        help="ingestion queue high watermark before backpressure (city)",
+    )
+    parser.add_argument(
+        "--deadline-s",
+        type=float,
+        default=None,
+        help="per-shard wall-clock deadline on the primary pool (city)",
     )
     parser.add_argument("--seed", type=int, default=None, help="master seed override")
     parser.add_argument(
@@ -266,6 +287,56 @@ def _simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _city(args: argparse.Namespace) -> int:
+    """Settle a sharded city through the supervised shard service."""
+    from collections import Counter
+
+    from .io.audit import AuditLog
+    from .mechanisms.enki import serving_mechanism
+    from .robustness.checkpoint import CheckpointStore
+    from .service import serve_city
+    from .sim.results import format_table
+
+    seed = args.seed if args.seed is not None else 2017
+    journal = (
+        CheckpointStore(args.checkpoint, fresh=not args.resume)
+        if args.checkpoint
+        else None
+    )
+    audit = AuditLog(args.audit) if args.audit else None
+    mechanism = serving_mechanism(
+        seed=seed,
+        quarantine_policy=args.quarantine if args.quarantine else "clamp",
+    )
+    result = serve_city(
+        n=args.n,
+        shards=args.shards,
+        workers=args.workers if args.workers is not None else 1,
+        seed=seed,
+        mechanism=mechanism,
+        queue_capacity=args.queue_capacity,
+        deadline_s=args.deadline_s,
+        journal=journal,
+        audit=audit,
+    )
+    tiers = Counter(record.served_tier for record in result.records.values())
+    rows = [
+        ("shards settled", result.settled),
+        ("households", result.n_households),
+        ("degraded shards", len(result.degraded)),
+        ("replayed from journal", len(result.replayed)),
+        ("overload rejections", result.overload_rejections),
+        ("pool replacements", result.pool_replacements),
+        ("tiers served", ", ".join(f"{t}:{c}" for t, c in sorted(tiers.items()))),
+        ("budget balanced (Thm 1)", "yes" if result.all_budget_balanced() else "NO"),
+        ("wall time (s)", f"{result.wall_time_s:.2f}"),
+    ]
+    print(format_table(["metric", "value"], rows))
+    if audit is not None:
+        print(f"audit log written to {args.audit}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code.
 
@@ -350,6 +421,9 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.experiment == "simulate":
         return _simulate(args)
+
+    if args.experiment == "city":
+        return _city(args)
 
     if args.experiment == "all":
         chunks = []

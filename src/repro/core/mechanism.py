@@ -514,6 +514,72 @@ class EnkiMechanism:
             neighborhood, reports, result, kept=kept, decisions=decisions
         )
 
+    def run_day_columnar_raw(
+        self,
+        neighborhood: ColumnarNeighborhood,
+        begin: np.ndarray,
+        end: np.ndarray,
+        duration: Optional[np.ndarray] = None,
+        rng: Optional[random.Random] = None,
+    ) -> ColumnarDayOutcome:
+        """Run a columnar day from *raw wire arrays* (possibly malformed).
+
+        The service-layer ingestion entry point: ``begin``/``end`` (and
+        optionally ``duration``) are float arrays straight off the wire,
+        aligned with ``neighborhood``'s rows — NaN, inverted, off-grid or
+        non-integral values included.  With a quarantine configured they
+        are screened first (repaired or dropped per policy, decisions
+        recorded); without one the arrays must already be clean, and the
+        first malformed row raises
+        :class:`~repro.robustness.errors.InvalidReportError` — the strict
+        counterpart of the ``reject`` policy.
+        """
+        begin = np.asarray(begin, dtype=float)
+        end = np.asarray(end, dtype=float)
+        if duration is None:
+            duration = neighborhood.duration.astype(float)
+        else:
+            duration = np.asarray(duration, dtype=float)
+        if self.quarantine is not None:
+            screened = self.quarantine.screen_columnar(
+                neighborhood, begin, end, duration
+            )
+            reports = screened.accepted
+            kept = screened.kept
+            decisions = tuple(screened.decisions)
+            neighborhood = neighborhood.take(kept)
+        else:
+            with np.errstate(invalid="ignore"):
+                integral = (
+                    np.isfinite(begin)
+                    & np.isfinite(end)
+                    & np.isfinite(duration)
+                    & (begin == np.trunc(begin))
+                    & (end == np.trunc(end))
+                    & (duration == np.trunc(duration))
+                )
+            if not bool(np.all(integral)):
+                i = int(np.argmin(integral))
+                from ..robustness.errors import InvalidReportError
+
+                raise InvalidReportError(
+                    str(neighborhood.ids[i]),
+                    "non-integer-bound",
+                    f"bounds ({begin[i]!r}, {end[i]!r})",
+                )
+            reports = ColumnarReports(
+                ids=neighborhood.ids,
+                start=begin.astype(np.intp),
+                end=end.astype(np.intp),
+                duration=duration.astype(np.intp),
+            )
+            kept = np.ones(len(neighborhood), dtype=bool)
+            decisions = ()
+        result = self.allocate_columnar(neighborhood, reports, rng)
+        return self.finish_day_columnar(
+            neighborhood, reports, result, kept=kept, decisions=decisions
+        )
+
     def finish_day_columnar(
         self,
         neighborhood: ColumnarNeighborhood,

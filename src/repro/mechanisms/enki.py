@@ -10,6 +10,30 @@ from ..core.types import HouseholdId, Neighborhood, Report
 from .base import Mechanism, MechanismDayResult
 
 
+def serving_mechanism(
+    seed: Optional[int] = None,
+    quarantine_policy: Optional[str] = "clamp",
+) -> EnkiMechanism:
+    """The Enki configuration the shard service runs in production.
+
+    The bare :class:`EnkiMechanism` defaults trust their inputs — fine
+    for experiments replaying typed reports, wrong for a service fed raw
+    wire arrays.  This factory front-loads the trust boundary: a
+    quarantine (``clamp`` by default, so a malformed flood is repaired
+    rather than fatal; pass ``None`` to serve strictly and let the
+    service's degraded tier absorb bad shards) over the default greedy
+    allocator, which is the only tier that stays tractable at shard
+    scale.  Used by the ``city`` CLI subcommand and the service
+    benchmarks.
+    """
+    from ..robustness.quarantine import Quarantine
+
+    quarantine = (
+        Quarantine(quarantine_policy) if quarantine_policy is not None else None
+    )
+    return EnkiMechanism(seed=seed, quarantine=quarantine)
+
+
 class EnkiComparisonMechanism(Mechanism):
     """Adapter exposing :class:`EnkiMechanism` as a comparable mechanism."""
 

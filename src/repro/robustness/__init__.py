@@ -14,13 +14,21 @@ Four layers, one per failure domain:
   degradation path above is exercised deterministically by tests.
 """
 
-from .chaos import ChaosInjector, ChaosPlan, plan_faults
+from .chaos import (
+    ChaosInjector,
+    ChaosPlan,
+    ServiceChaosPlan,
+    plan_faults,
+    plan_service_faults,
+)
 from .checkpoint import CheckpointStore, day_key
 from .errors import (
     CheckpointError,
     InfeasibleAllocationError,
     InvalidReportError,
     ReproError,
+    ServiceInterrupted,
+    ServiceOverloadError,
     SolverBudgetError,
     WorkerFailure,
     exit_code_for,
@@ -48,6 +56,9 @@ __all__ = [
     "QuarantineResult",
     "RawReport",
     "ReproError",
+    "ServiceChaosPlan",
+    "ServiceInterrupted",
+    "ServiceOverloadError",
     "SolverBudgetError",
     "TierRecord",
     "WorkerFailure",
@@ -55,5 +66,6 @@ __all__ = [
     "day_key",
     "exit_code_for",
     "plan_faults",
+    "plan_service_faults",
     "validate_raw_report",
 ]

@@ -23,7 +23,7 @@ import os
 import signal
 import time
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Mapping
+from typing import Dict, FrozenSet, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -35,6 +35,11 @@ from .quarantine import AnyReport, RawReport
 _CRASH_KEY = 0xC4A5
 _SLOW_KEY = 0x510E
 _MALFORMED_KEY = 0xBAD1
+
+#: Service-level fault tags (per *shard*, not per day).
+_SLOW_SHARD_KEY = 0x51AD
+_KILL_SHARD_KEY = 0xD1ED
+_FLOOD_KEY = 0xF100
 
 #: The corruption shapes ``corrupt_reports`` rotates through.
 CORRUPTIONS = ("inverted-window", "nan-bound", "stretched-duration", "out-of-grid")
@@ -100,6 +105,77 @@ def plan_faults(
 
 
 @dataclass(frozen=True)
+class ServiceChaosPlan:
+    """Which *shards* of a service run fail, and how.
+
+    The service-layer twin of :class:`ChaosPlan`: a pure function of
+    ``(root, rates)`` over shard indices instead of day indices.  Built by
+    :func:`plan_service_faults`; picklable, so it travels into workers.
+
+    ``kill_after`` arms the supervisor-kill fuse: once that many shards
+    have settled, the service is interrupted exactly once (exercising
+    journal resume).  ``None`` disarms it.
+    """
+
+    root: int
+    slow_shards: FrozenSet[int] = frozenset()
+    kill_shards: FrozenSet[int] = frozenset()
+    flood_shards: FrozenSet[int] = frozenset()
+    kill_after: Optional[int] = None
+
+
+def plan_service_faults(
+    root: int,
+    shards: int,
+    slow_rate: float = 0.0,
+    kill_rate: float = 0.0,
+    flood_rate: float = 0.0,
+    kill_after: Optional[int] = None,
+) -> ServiceChaosPlan:
+    """Draw the seed-keyed fault plan for a service run of ``shards`` shards.
+
+    ``slow_rate`` marks shards whose worker stalls (exercising the
+    per-shard deadline), ``kill_rate`` shards whose worker SIGKILLs itself
+    (exercising pool replacement), ``flood_rate`` shards whose report
+    stream arrives mass-corrupted (exercising the quarantine at flood
+    scale).  Each fault draws from its own keyed substream, so plans are
+    exactly as reproducible as a clean run.
+    """
+    for name, rate in (
+        ("slow_rate", slow_rate),
+        ("kill_rate", kill_rate),
+        ("flood_rate", flood_rate),
+    ):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1], got {rate}")
+    slow = frozenset(
+        index
+        for index in range(shards)
+        if slow_rate > 0.0
+        and _fault_rng(root, index, _SLOW_SHARD_KEY).random() < slow_rate
+    )
+    kill = frozenset(
+        index
+        for index in range(shards)
+        if kill_rate > 0.0
+        and _fault_rng(root, index, _KILL_SHARD_KEY).random() < kill_rate
+    )
+    flood = frozenset(
+        index
+        for index in range(shards)
+        if flood_rate > 0.0
+        and _fault_rng(root, index, _FLOOD_KEY).random() < flood_rate
+    )
+    return ServiceChaosPlan(
+        root=root,
+        slow_shards=slow,
+        kill_shards=kill,
+        flood_shards=flood,
+        kill_after=kill_after,
+    )
+
+
+@dataclass(frozen=True)
 class ChaosInjector:
     """Executes a :class:`ChaosPlan` inside day workers.
 
@@ -113,12 +189,16 @@ class ChaosInjector:
             path).  Only use ``kill=True`` with ``workers > 1`` — in
             serial mode it would take down the driver itself.
         slow_s: How long a slow-task fault sleeps.
+        service_plan: Optional shard-level fault plan for the service
+            layer (:func:`plan_service_faults`); without one, every
+            service hook is a no-op.
     """
 
     plan: ChaosPlan
     fault_dir: str
     kill: bool = False
     slow_s: float = 0.2
+    service_plan: Optional[ServiceChaosPlan] = None
 
     def before_day(self, day: int) -> None:
         """Fire this day's crash/slow faults, if any (called by workers)."""
@@ -131,14 +211,97 @@ class ChaosInjector:
 
     def _blow_fuse(self, day: int) -> bool:
         """Atomically consume the day's one-shot crash fuse."""
+        return self._fire(f"crash-day-{day}.fired")
+
+    def _fire(self, marker_name: str) -> bool:
+        """Atomically consume a named one-shot fuse (shared fault_dir)."""
         os.makedirs(self.fault_dir, exist_ok=True)
-        marker = os.path.join(self.fault_dir, f"crash-day-{day}.fired")
+        marker = os.path.join(self.fault_dir, marker_name)
         try:
             fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
         except FileExistsError:
             return False
         os.close(fd)
         return True
+
+    # ----------------------------------------------------- service layer
+
+    def before_shard(self, index: int) -> None:
+        """Fire shard-level faults inside a service worker.
+
+        *Slow shards* stall on **every** attempt — unlike day crashes
+        there is no fuse, so with a per-shard deadline below ``slow_s``
+        the shard exhausts its retries and must settle on a degraded tier
+        (the point: a sick shard is served, never dropped).  *Kill shards*
+        are transient, fused like day crashes: the first attempt dies
+        (``SIGKILL`` when ``kill`` is set, :class:`WorkerFailure`
+        otherwise) and the retry completes bit-identically.
+        """
+        plan = self.service_plan
+        if plan is None:
+            return
+        if index in plan.slow_shards:
+            time.sleep(self.slow_s)
+        if index in plan.kill_shards and self._fire(f"kill-shard-{index}.fired"):
+            if self.kill:  # pragma: no cover - dies before coverage flushes
+                os.kill(os.getpid(), signal.SIGKILL)
+            raise WorkerFailure(
+                index=index, attempt=1, cause="chaos-injected shard kill"
+            )
+
+    def corrupt_shard_reports(
+        self,
+        index: int,
+        begin: np.ndarray,
+        end: np.ndarray,
+        duration: np.ndarray,
+        fraction: float = 0.3,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Mass-corrupt a flood shard's report arrays (malformed flood).
+
+        On shards in the plan's ``flood_shards``, a deterministic
+        ``fraction`` of rows is rewritten with the :data:`CORRUPTIONS`
+        shapes (vectorized); other shards pass through untouched.  Flood
+        corruption is persistent — it is part of the shard's input and
+        must flow through the columnar quarantine, not a retry.
+        """
+        plan = self.service_plan
+        if plan is None or index not in plan.flood_shards or begin.shape[0] == 0:
+            return begin, end, duration
+        begin = np.array(begin, dtype=float)
+        end = np.array(end, dtype=float)
+        duration = np.array(duration, dtype=float)
+        rng = _fault_rng(plan.root, index, _FLOOD_KEY)
+        rng.random()  # skip the draw plan_service_faults consumed
+        victims = np.flatnonzero(rng.random(begin.shape[0]) < fraction)
+        shapes = rng.integers(len(CORRUPTIONS), size=victims.shape[0])
+        for shape_index, shape in enumerate(CORRUPTIONS):
+            rows = victims[shapes == shape_index]
+            if rows.size == 0:
+                continue
+            if shape == "inverted-window":
+                begin[rows], end[rows] = end[rows], begin[rows] - 1
+            elif shape == "nan-bound":
+                begin[rows] = float("nan")
+            elif shape == "stretched-duration":
+                duration[rows] = duration[rows] + 25
+            else:  # out-of-grid
+                begin[rows] = begin[rows] - 40
+                end[rows] = end[rows] + 40
+        return begin, end, duration
+
+    def supervisor_kill_due(self, settled: int) -> bool:
+        """One-shot supervisor-kill fuse: trip once ``settled`` shards done.
+
+        The service checks this after journaling each settlement; the
+        single ``True`` (guarded by a fuse marker, so resumes never
+        re-trip) tells it to die with its journal intact — the resume
+        half of the chaos acceptance gate.
+        """
+        plan = self.service_plan
+        if plan is None or plan.kill_after is None or settled < plan.kill_after:
+            return False
+        return self._fire("supervisor-kill.fired")
 
     def corrupt_reports(
         self, day: int, reports: Mapping[HouseholdId, Report]
@@ -185,3 +348,19 @@ class _NullInjector:
         self, day: int, reports: Mapping[HouseholdId, Report]
     ) -> Dict[HouseholdId, AnyReport]:
         return dict(reports)
+
+    def before_shard(self, index: int) -> None:
+        pass
+
+    def corrupt_shard_reports(
+        self,
+        index: int,
+        begin: np.ndarray,
+        end: np.ndarray,
+        duration: np.ndarray,
+        fraction: float = 0.3,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return begin, end, duration
+
+    def supervisor_kill_due(self, settled: int) -> bool:
+        return False

@@ -7,20 +7,27 @@ replayed verbatim on resume — the merged output is identical to an
 uninterrupted run at the same seed.
 
 The store is an append-only JSONL file: one ``{"key": ..., "payload": ...}``
-line per completed unit of work, written as a single ``write()`` call and
-flushed to disk, so a kill can at worst truncate the final line.  Loading
-tolerates (and drops) such a truncated tail; everything before it is
-intact.  Keys are free-form strings (``"day-3"``, ``"n20-day7"``) so one
+line per completed unit of work, written as a single ``O_APPEND`` write and
+fsync'd, so a kill can at worst truncate the final line.  Loading tolerates
+such a torn tail — the partial line is dropped *and truncated from the
+file*, so the next append starts on a clean line boundary instead of
+concatenating onto the garbage.  A bad line with intact records *after* it
+cannot come from a kill mid-append and is treated as real corruption
+(:class:`~repro.robustness.errors.CheckpointError`) rather than silently
+skipped.  Keys are free-form strings (``"day-3"``, ``"n20-day7"``) so one
 store can checkpoint a population sweep as well as a flat day loop.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import os
 from typing import Any, Dict, Optional
 
 from .errors import CheckpointError
+
+_logger = logging.getLogger(__name__)
 
 #: Format version embedded in every checkpoint line.
 CHECKPOINT_SCHEMA_VERSION = 1
@@ -55,39 +62,81 @@ class CheckpointStore:
     def _load(self) -> Dict[str, Dict[str, Any]]:
         records: Dict[str, Dict[str, Any]] = {}
         try:
-            handle = open(self.path, "r", encoding="utf-8")
+            with open(self.path, "rb") as handle:
+                blob = handle.read()
         except FileNotFoundError:
             return records
-        with handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except ValueError:
-                    # A kill mid-write truncates at most the final line;
-                    # drop it and let the resume recompute that unit.
-                    continue
-                if not isinstance(record, dict) or "key" not in record:
-                    raise CheckpointError(
-                        f"malformed checkpoint record in {self.path!r}: {line[:80]}"
-                    )
-                records[str(record["key"])] = record.get("payload", {})
+        offset = 0  # byte offset of the line being parsed
+        truncate_at: Optional[int] = None
+        for chunk in blob.split(b"\n"):
+            line_start, offset = offset, offset + len(chunk) + 1
+            is_tail = offset > len(blob)  # last chunk: no newline followed
+            line = chunk.decode("utf-8", errors="replace").strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                torn = is_tail  # complete writes always end in a newline
+            except ValueError:
+                record, torn = None, True
+            if torn:
+                if is_tail:
+                    # A kill mid-append truncates at most the final line;
+                    # drop it (the resume recomputes that unit) and trim
+                    # the file so the next append starts a clean line.
+                    truncate_at = line_start
+                    break
+                raise CheckpointError(
+                    f"corrupt checkpoint line mid-file in {self.path!r} "
+                    f"(not a torn tail): {line[:80]}"
+                )
+            if not isinstance(record, dict) or "key" not in record:
+                raise CheckpointError(
+                    f"malformed checkpoint record in {self.path!r}: {line[:80]}"
+                )
+            records[str(record["key"])] = record.get("payload", {})
+        if truncate_at is not None:
+            self._truncate(truncate_at)
         return records
 
+    def _truncate(self, size: int) -> None:
+        """Trim a torn trailing line off the file (best effort)."""
+        try:
+            with open(self.path, "rb+") as handle:
+                handle.truncate(size)
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError:  # pragma: no cover - read-only media etc.
+            _logger.warning(
+                "could not truncate torn checkpoint tail in %r", self.path
+            )
+        else:
+            _logger.warning(
+                "dropped a torn trailing checkpoint line in %r "
+                "(kill mid-append); that unit will be recomputed",
+                self.path,
+            )
+
     def append(self, key: str, payload: Dict[str, Any]) -> None:
-        """Persist one completed unit; durable once this returns."""
+        """Persist one completed unit; durable once this returns.
+
+        The record travels as one ``O_APPEND`` write — atomic with respect
+        to concurrent appenders and kills — followed by an fsync, so a
+        crash can at worst leave a torn final line (which :meth:`_load`
+        drops and truncates).
+        """
         record = {
             "schema_version": CHECKPOINT_SCHEMA_VERSION,
             "key": key,
             "payload": payload,
         }
         line = json.dumps(record, sort_keys=True) + "\n"
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(line)
-            handle.flush()
-            os.fsync(handle.fileno())
+        fd = os.open(self.path, os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, line.encode("utf-8"))
+            os.fsync(fd)
+        finally:
+            os.close(fd)
         if self._completed is not None:
             self._completed[key] = payload
 

@@ -93,6 +93,57 @@ class CheckpointError(ReproError):
     exit_code = 15
 
 
+class ServiceOverloadError(ReproError):
+    """The shard service's ingestion queue hit its high watermark.
+
+    Backpressure, not failure: the submission was *not* accepted and can
+    be retried after ``retry_after_s`` — by then the service expects to
+    have drained back below its low watermark.
+
+    Args:
+        retry_after_s: Suggested client wait before resubmitting.
+        depth: Queue depth at the moment of rejection.
+        capacity: The queue's high watermark.
+    """
+
+    exit_code = 16
+
+    def __init__(
+        self, retry_after_s: float, depth: int = 0, capacity: int = 0
+    ) -> None:
+        self.retry_after_s = float(retry_after_s)
+        self.depth = depth
+        self.capacity = capacity
+        super().__init__(
+            f"ingestion queue saturated ({depth}/{capacity}); "
+            f"retry after {self.retry_after_s:.2f}s"
+        )
+
+
+class ServiceInterrupted(ReproError):
+    """The shard service was stopped with shards still unsettled.
+
+    Every settled shard is already journaled; re-running against the same
+    journal with ``resume=True`` replays them byte-identically and
+    settles only the remainder.
+
+    Args:
+        settled: Shards journaled before the interruption.
+        pending: Shards still owed a settlement.
+    """
+
+    exit_code = 17
+
+    def __init__(self, settled: int, pending: int, cause: str = "interrupted") -> None:
+        self.settled = settled
+        self.pending = pending
+        self.cause = cause
+        super().__init__(
+            f"service {cause} with {pending} shard(s) unsettled "
+            f"({settled} journaled; resume to finish)"
+        )
+
+
 def exit_code_for(error: BaseException) -> Optional[int]:
     """The CLI exit code for ``error``, or ``None`` for non-repro errors."""
     if isinstance(error, ReproError):

@@ -17,10 +17,21 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Optional, Sequence, Tuple
 
-from ..allocation.base import AllocationProblem, AllocationResult, Allocator
+import numpy as np
+
+from ..allocation.base import (
+    AllocationProblem,
+    AllocationResult,
+    Allocator,
+    ColumnarAllocationResult,
+)
 from .errors import SolverBudgetError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..allocation.arrays import CompiledProblem
+    from ..pricing.base import PricingModel
 
 
 @dataclass(frozen=True)
@@ -152,4 +163,70 @@ class FallbackAllocator(Allocator):
         raise SolverBudgetError(
             f"all {len(self.tiers)} allocator tiers failed: "
             + "; ".join(f"{r.allocator}={r.status}" for r in trail)
+        )
+
+    def solve_columnar(
+        self,
+        compiled: "CompiledProblem",
+        pricing: "PricingModel",
+        rng: Optional[random.Random] = None,
+    ) -> ColumnarAllocationResult:
+        """The chain's columnar kernel: degrade tier by tier, array-native.
+
+        Each tier's own ``solve_columnar`` runs directly (the greedy tier
+        stays vectorized at city scale instead of bridging through a
+        million objects), with the same guardrails as :meth:`solve`: a
+        tier that raises or returns starts violating the compiled windows
+        hands the shard to the next tier, and the served result carries
+        ``served_tier`` and the full trail.
+        """
+        rng = rng if rng is not None else random.Random()
+        trail: Tuple[TierRecord, ...] = ()
+        for tier, allocator in enumerate(self.tiers):
+            started_at = time.perf_counter()
+            try:
+                result = allocator.solve_columnar(compiled, pricing, rng)
+            except Exception as exc:  # any tier failure degrades, never aborts
+                trail += (
+                    TierRecord(
+                        tier=tier,
+                        allocator=allocator.name,
+                        status="error",
+                        wall_time_s=time.perf_counter() - started_at,
+                        detail=f"{type(exc).__name__}: {exc}",
+                    ),
+                )
+                continue
+            wall = time.perf_counter() - started_at
+            starts = result.starts
+            bad = (starts < compiled.win_start) | (
+                starts + compiled.duration > compiled.win_end
+            )
+            if bool(np.any(bad)):
+                trail += (
+                    TierRecord(
+                        tier=tier,
+                        allocator=allocator.name,
+                        status="infeasible",
+                        wall_time_s=wall,
+                        detail="allocation violates window/duration constraints",
+                    ),
+                )
+                continue
+            status = "served"
+            if self.tier_budget_s is not None and wall > self.tier_budget_s:
+                status = "served-over-budget"
+            result.served_tier = tier
+            result.fallback_trail = trail + (
+                TierRecord(
+                    tier=tier,
+                    allocator=allocator.name,
+                    status=status,
+                    wall_time_s=wall,
+                ),
+            )
+            return result
+        raise SolverBudgetError(
+            f"all {len(self.tiers)} allocator tiers failed on the columnar "
+            "path: " + "; ".join(f"{r.allocator}={r.status}" for r in trail)
         )

@@ -1,0 +1,44 @@
+"""Supervised city-scale shard service.
+
+The long-lived layer above the columnar mechanism: shards (columnar
+days) enter through a bounded backpressured queue, settle on a
+supervised worker pool with deadlines, jittered retries and pool
+replacement, degrade per-shard through circuit breakers onto a fallback
+tier when sick, and journal every settlement so a killed service resumes
+byte-identically.  See ``docs/robustness.md`` ("Service layer").
+"""
+
+from .breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from .city import sample_shard, serve_city, shard_sizes
+from .queue import BoundedIngestQueue
+from .service import META_KEY, ServiceResult, ShardService, shard_key
+from .shard import (
+    ShardJob,
+    ShardSettlementRecord,
+    record_from_outcome,
+    settle_shard,
+    settlement_digest,
+)
+from .supervisor import ShardCompletion, ShardSupervisor
+
+__all__ = [
+    "BoundedIngestQueue",
+    "CLOSED",
+    "CircuitBreaker",
+    "HALF_OPEN",
+    "META_KEY",
+    "OPEN",
+    "ServiceResult",
+    "ShardCompletion",
+    "ShardJob",
+    "ShardService",
+    "ShardSettlementRecord",
+    "ShardSupervisor",
+    "record_from_outcome",
+    "sample_shard",
+    "serve_city",
+    "settle_shard",
+    "settlement_digest",
+    "shard_key",
+    "shard_sizes",
+]

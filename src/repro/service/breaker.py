@@ -1,0 +1,98 @@
+"""Per-shard circuit breakers: stop hammering a shard that keeps failing.
+
+Retries handle *transient* faults (a worker SIGKILLed mid-solve reruns
+bit-identically); a shard that fails **every** attempt — a stall baked
+into its input, a poisoned report stream — would, under retries alone,
+consume a full deadline-times-retries budget on every resubmission
+forever.  The breaker is the memory the retry loop lacks: after
+``failure_threshold`` consecutive failures it *opens* and the service
+stops offering the shard to the primary pool, routing it straight to the
+degraded inline path instead.  After ``cooldown_s`` the breaker goes
+*half-open* and admits exactly one probe; a success closes it, another
+failure re-opens it for a fresh cooldown.
+
+The clock is injectable so state transitions are testable without
+sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+#: The three classic breaker states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """A consecutive-failure breaker with a cooldown-gated probe.
+
+    Args:
+        failure_threshold: Consecutive failures that trip the breaker.
+        cooldown_s: How long an open breaker blocks before admitting a
+            half-open probe.
+        clock: Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown_s < 0:
+            raise ValueError(f"cooldown cannot be negative, got {cooldown_s}")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+
+    @property
+    def state(self) -> str:
+        """Current state, cooldown expiry applied lazily."""
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self.cooldown_s
+        ):
+            self._state = HALF_OPEN
+        return self._state
+
+    @property
+    def failures(self) -> int:
+        return self._failures
+
+    def allow_primary(self) -> bool:
+        """Whether the primary pool may attempt the shard right now.
+
+        Closed: always.  Open: no, until the cooldown elapses.
+        Half-open: one probe — this call admits it and subsequent calls
+        refuse until the probe reports back.
+        """
+        state = self.state
+        if state == CLOSED:
+            return True
+        if state == HALF_OPEN:
+            self._state = OPEN  # the probe is in flight; block others
+            self._opened_at = self._clock()
+            return True
+        return False
+
+    def record_failure(self) -> None:
+        """Count one failed attempt; trip at the threshold."""
+        self._failures += 1
+        if self._failures >= self.failure_threshold:
+            self._state = OPEN
+            self._opened_at = self._clock()
+
+    def record_success(self) -> None:
+        """A served attempt resets the breaker entirely."""
+        self._failures = 0
+        self._state = CLOSED

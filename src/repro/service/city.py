@@ -1,0 +1,137 @@
+"""The city driver: shard a metropolis and push it through the service.
+
+:func:`serve_city` is the 1M-household entry point behind the
+``city`` CLI subcommand and the ``city_*`` benchmarks: it samples one
+columnar shard population per shard index from keyed RNG substreams
+(each shard is a pure function of ``(root, index)``, independent of
+scheduling), submits them through the service's backpressured queue —
+pumping the service to drain instead of sleeping whenever it pushes
+back — and drains to settlement.  With a chaos plan attached the same
+driver doubles as the acceptance harness: flood shards get their wire
+arrays mass-corrupted at ingestion, slow/kill shards misbehave inside
+the workers, and the supervisor-kill fuse interrupts the run mid-drain
+to exercise journal resume.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from ..core.mechanism import EnkiMechanism
+from ..io.audit import AuditLog
+from ..robustness.checkpoint import CheckpointStore
+from ..robustness.errors import ServiceOverloadError
+from ..sim.parallel import DEFAULT_BACKOFF_S, DEFAULT_JITTER
+from ..sim.profiles import ProfileGenerator, ProfileGeneratorConfig
+from ..sim.rng import make_day_rngs, root_entropy, spawn_seed
+from .service import ServiceResult, ShardService
+
+
+def shard_sizes(n: int, shards: int) -> list:
+    """Split ``n`` households into ``shards`` near-equal positive slices."""
+    if n < 1:
+        raise ValueError(f"city size must be >= 1, got {n}")
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    shards = min(shards, n)
+    edges = [n * i // shards for i in range(shards + 1)]
+    return [edges[i + 1] - edges[i] for i in range(shards)]
+
+
+def sample_shard(
+    root: int,
+    index: int,
+    size: int,
+    generator: Optional[ProfileGenerator] = None,
+):
+    """Shard ``index``'s columnar neighborhood and allocator seed.
+
+    Drawn from the shard's keyed substream
+    (:func:`~repro.sim.rng.make_day_rngs` keyed by ``(root, index)``), so
+    the shard's population is identical no matter when — or in which
+    service life — it is sampled.  Ids are prefixed per shard to stay
+    city-unique.
+    """
+    generator = generator if generator is not None else ProfileGenerator()
+    py_rng, np_rng = make_day_rngs(root, index)
+    profiles = generator.sample_population_columnar(
+        np_rng, size, id_prefix=f"s{index}-hh"
+    )
+    return profiles.to_neighborhood("wide"), spawn_seed(py_rng)
+
+
+def serve_city(
+    n: int,
+    shards: int,
+    workers: Optional[int] = 1,
+    seed: Optional[int] = 2017,
+    mechanism: Optional[EnkiMechanism] = None,
+    config: Optional[ProfileGeneratorConfig] = None,
+    queue_capacity: int = 64,
+    low_watermark: Optional[int] = None,
+    deadline_s: Optional[float] = None,
+    retries: int = 2,
+    cooldown_s: float = 30.0,
+    backoff_s: float = DEFAULT_BACKOFF_S,
+    jitter: float = DEFAULT_JITTER,
+    journal: Optional[CheckpointStore] = None,
+    audit: Optional[AuditLog] = None,
+    chaos: Optional[Any] = None,
+) -> ServiceResult:
+    """Settle a city of ``n`` households as ``shards`` supervised shards.
+
+    Raises:
+        ServiceInterrupted: The chaos supervisor-kill fuse fired; the
+            journal holds every shard settled so far, and re-running with
+            the same ``journal`` resumes byte-identically.
+    """
+    root = root_entropy(seed)
+    generator = ProfileGenerator(config)
+    sizes = shard_sizes(n, shards)
+    meta = {"root": root, "n": n, "shards": len(sizes)}
+    with ShardService(
+        mechanism=mechanism,
+        workers=workers,
+        queue_capacity=queue_capacity,
+        low_watermark=low_watermark,
+        deadline_s=deadline_s,
+        retries=retries,
+        cooldown_s=cooldown_s,
+        backoff_s=backoff_s,
+        jitter=jitter,
+        journal=journal,
+        journal_meta=meta,
+        audit=audit,
+        chaos=chaos,
+    ) as service:
+        for index, size in enumerate(sizes):
+            if journal is not None and service.journal_has(index):
+                # Resume fast path: replay without sampling or packing.
+                service.submit_shard(index, None)  # type: ignore[arg-type]
+                continue
+            neighborhood, shard_seed = sample_shard(root, index, size, generator)
+            begin = neighborhood.true_start.astype(float)
+            end = neighborhood.true_end.astype(float)
+            duration = neighborhood.duration.astype(float)
+            if chaos is not None:
+                begin, end, duration = chaos.corrupt_shard_reports(
+                    index, begin, end, duration
+                )
+            while True:
+                try:
+                    service.submit_shard(
+                        index,
+                        neighborhood,
+                        begin=begin,
+                        end=end,
+                        duration=duration,
+                        seed=shard_seed,
+                    )
+                    break
+                except ServiceOverloadError:
+                    # Backpressure: drain the service instead of sleeping
+                    # — the productive response to "come back later".
+                    service.pump(block=True)
+        return service.drain()

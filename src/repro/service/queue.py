@@ -1,0 +1,119 @@
+"""Bounded ingestion queue with watermark-hysteresis backpressure.
+
+The shard service must never buffer unboundedly: a city feeding days
+faster than the pool settles them would otherwise grow the parent's heap
+until the OS kills it — the least graceful degradation there is.
+:class:`BoundedIngestQueue` instead *rejects* work at a high watermark
+with :class:`~repro.robustness.errors.ServiceOverloadError` carrying a
+``retry_after_s`` hint, and — crucially — keeps rejecting until the queue
+has drained below a *low* watermark.  The gap between the two watermarks
+is hysteresis: without it a saturated service would flap between "one
+slot free, accept" and "full, reject" on every settlement, and a retrying
+client would burn its retries on a queue that frees exactly one slot at a
+time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generic, Optional, TypeVar
+
+from ..robustness.errors import ServiceOverloadError
+
+_T = TypeVar("_T")
+
+#: Fallback retry hint when the queue has not drained anything yet.
+DEFAULT_RETRY_AFTER_S = 0.1
+
+
+class BoundedIngestQueue(Generic[_T]):
+    """FIFO queue that applies backpressure instead of growing.
+
+    Args:
+        capacity: High watermark — the submission that would push depth
+            past this is rejected.
+        low_watermark: Depth the queue must drain to before it accepts
+            again after a rejection (default ``capacity // 2``, at least
+            one below capacity).  Equal watermarks disable hysteresis.
+        retry_after_s: Base of the ``retry_after_s`` hint carried by
+            rejections; scaled by how far above the low watermark the
+            queue currently sits, so deeply-backed-up services ask
+            clients to stay away longer.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        low_watermark: Optional[int] = None,
+        retry_after_s: float = DEFAULT_RETRY_AFTER_S,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if low_watermark is None:
+            low_watermark = max(0, min(capacity - 1, capacity // 2))
+        if not 0 <= low_watermark <= capacity:
+            raise ValueError(
+                f"low watermark must be in [0, {capacity}], got {low_watermark}"
+            )
+        if retry_after_s <= 0:
+            raise ValueError(f"retry_after_s must be positive, got {retry_after_s}")
+        self.capacity = capacity
+        self.low_watermark = low_watermark
+        self.retry_after_s = retry_after_s
+        self._items: Deque[_T] = deque()
+        self._accepting = True
+        self.rejections = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def depth(self) -> int:
+        return len(self._items)
+
+    @property
+    def accepting(self) -> bool:
+        """Whether the next :meth:`submit` would be admitted."""
+        return self._accepting and len(self._items) < self.capacity
+
+    def check_admission(self) -> None:
+        """Raise the rejection a :meth:`submit` would raise right now.
+
+        A no-op while the queue is accepting.  Callers with expensive
+        payload construction (the service packs a shared-memory segment
+        per shard) probe admission first so a rejected submission costs
+        nothing.
+
+        Raises:
+            ServiceOverloadError: The queue is at its high watermark, or
+                still draining toward its low watermark after a previous
+                rejection.
+        """
+        if self.accepting:
+            return
+        self._accepting = False  # latch: drain to low watermark first
+        self.rejections += 1
+        backlog = max(1, len(self._items) - self.low_watermark)
+        raise ServiceOverloadError(
+            retry_after_s=self.retry_after_s * backlog,
+            depth=len(self._items),
+            capacity=self.capacity,
+        )
+
+    def submit(self, item: _T) -> None:
+        """Enqueue ``item``, or reject it with backpressure.
+
+        Raises:
+            ServiceOverloadError: See :meth:`check_admission`; the
+                submission was **not** accepted — resubmit after the
+                error's ``retry_after_s``.
+        """
+        self.check_admission()
+        self._items.append(item)
+
+    def pop(self) -> _T:
+        """Dequeue the oldest item (FIFO); re-arm admission once drained."""
+        item = self._items.popleft()
+        if not self._accepting and len(self._items) <= self.low_watermark:
+            self._accepting = True
+        return item

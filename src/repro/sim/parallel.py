@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import logging
 import os
+import random
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -61,6 +62,38 @@ DEFAULT_RETRIES = 2
 
 #: Default base of the exponential retry backoff, in seconds.
 DEFAULT_BACKOFF_S = 0.05
+
+#: Default retry-backoff jitter: each wait is stretched by up to this
+#: fraction, drawn uniformly, so a fleet of retrying callers (the shard
+#: service's supervisors) desynchronizes instead of thundering back into
+#: a struggling pool in lockstep.  Timing-only — results are unaffected.
+DEFAULT_JITTER = 0.5
+
+#: Jitter source.  Timing-only randomness, deliberately *not* derived
+#: from any simulation seed: retry pacing must never consume (or depend
+#: on) the streams that make runs bit-identical.
+_jitter_rng = random.Random()
+
+
+def backoff_delay(
+    attempt: int,
+    backoff_s: float = DEFAULT_BACKOFF_S,
+    jitter: float = DEFAULT_JITTER,
+) -> float:
+    """The wait before retry ``attempt`` (1-based): exponential + jitter.
+
+    ``backoff_s * 2**(attempt-1)``, stretched by a uniform factor in
+    ``[1, 1 + jitter]``.  Shared by :func:`map_tasks` and the shard
+    supervisor so every retry loop in the runtime paces the same way.
+    """
+    if attempt < 1:
+        raise ValueError(f"attempt is 1-based, got {attempt}")
+    if jitter < 0:
+        raise ValueError(f"jitter cannot be negative, got {jitter}")
+    delay = backoff_s * (2 ** (attempt - 1))
+    if jitter:
+        delay *= 1.0 + jitter * _jitter_rng.random()
+    return delay
 
 #: Environment variable naming a directory for per-worker cProfile dumps.
 #: Set by ``repro --profile`` with ``--workers > 1``; workers accumulate a
@@ -265,6 +298,7 @@ def map_tasks(
     timeout_s: Optional[float] = None,
     retries: int = DEFAULT_RETRIES,
     backoff_s: float = DEFAULT_BACKOFF_S,
+    jitter: float = DEFAULT_JITTER,
     on_result: Optional[Callable[[int, _R], None]] = None,
     on_failure: Optional[Callable[[WorkerFailure], None]] = None,
 ) -> List[_R]:
@@ -284,6 +318,9 @@ def map_tasks(
         retries: How many pool re-attempts a failed payload gets (with
             exponential backoff) before being re-run inline in the parent.
         backoff_s: Base of the exponential backoff between retry rounds.
+        jitter: Uniform stretch factor on each backoff wait (see
+            :func:`backoff_delay`); ``0`` gives the bare exponential.
+            Timing-only — results are identical for any value.
         on_result: Called as ``on_result(index, value)`` the first time
             each payload completes — completion order in parallel runs,
             submission order serially.  Must not raise.
@@ -299,6 +336,8 @@ def map_tasks(
         raise ValueError(f"retries cannot be negative, got {retries}")
     if chunksize < 1:
         raise ValueError(f"chunksize must be >= 1, got {chunksize}")
+    if jitter < 0:
+        raise ValueError(f"jitter cannot be negative, got {jitter}")
     n_workers = resolve_workers(workers)
     if n_workers <= 1 or len(payloads) <= 1:
         serial: List[_R] = []
@@ -318,7 +357,7 @@ def map_tasks(
                         )
                     if attempt > retries:
                         raise
-                    time.sleep(backoff_s * (2 ** (attempt - 1)))
+                    time.sleep(backoff_delay(attempt, backoff_s, jitter))
             serial.append(value)
             if on_result is not None:
                 on_result(index, value)
@@ -355,6 +394,6 @@ def map_tasks(
             else:
                 retry_units.append(unit)
         if retry_units:
-            time.sleep(backoff_s * (2 ** (round_attempts - 1)))
+            time.sleep(backoff_delay(round_attempts, backoff_s, jitter))
         pending = retry_units
     return [results[index] for index in indices]

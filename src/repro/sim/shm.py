@@ -187,28 +187,28 @@ class SharedArena:
         return attach_floats(name, count)
 
     def dispose(self) -> None:
-        """Close and unlink every owned segment (idempotent, pid-guarded)."""
+        """Close and unlink every owned segment (idempotent, pid-guarded).
+
+        Safe to call any number of times and in any order relative to the
+        ``atexit`` backstop: a segment that was already unlinked (by an
+        earlier ``dispose`` or by :func:`_dispose_all_owned`) is skipped
+        silently, with no second unlink attempt and no resource-tracker
+        warning.
+        """
         if self._disposed:
             return
         self._disposed = True
         if os.getpid() != self._owner_pid:
             # A fork-inherited copy in a worker: the parent owns cleanup.
             return
-        for name in self._names:
+        names, self._names = self._names, []
+        for name in names:
             entry = _OWNED.pop(name, None)
             if entry is None:
+                # Already cleaned up (second dispose, or the atexit
+                # backstop ran first): nothing left to close or unlink.
                 continue
-            segment = entry[0]
-            _DAY_VIEWS.pop(name, None)
-            try:
-                segment.close()
-            except BufferError:  # pragma: no cover - caller kept views
-                pass
-            try:
-                segment.unlink()
-            except FileNotFoundError:  # pragma: no cover - already gone
-                pass
-        self._names = []
+            _unlink_owned(entry[0])
 
     def __enter__(self) -> "SharedArena":
         return self
@@ -223,22 +223,37 @@ class SharedArena:
             pass
 
 
+def _unlink_owned(segment: shared_memory.SharedMemory) -> None:
+    """Close and unlink one owned segment, tolerating every replay."""
+    _DAY_VIEWS.pop(segment.name, None)
+    try:
+        segment.close()
+    except BufferError:  # pragma: no cover - caller kept views alive
+        pass
+    try:
+        segment.unlink()
+    except FileNotFoundError:  # pragma: no cover - already gone
+        # Unlinked out from under us (external cleanup); make sure the
+        # resource tracker forgets it too, or its own atexit sweep would
+        # warn about (and retry) a segment that no longer exists.
+        _unregister_tracker(segment)
+
+
 @atexit.register
-def _dispose_all_owned() -> None:  # pragma: no cover - exercised at exit
-    """Last-resort unlink of owned segments if a run never disposed."""
+def _dispose_all_owned() -> None:
+    """Last-resort unlink of owned segments if a run never disposed.
+
+    Only this process's own segments are touched: fork-inherited entries
+    stay in the registry untouched (their owner cleans them up), so a
+    worker exiting never unlinks — or even forgets — the parent's
+    segments.
+    """
     pid = os.getpid()
     for name in list(_OWNED):
-        segment, owner = _OWNED.pop(name)
-        if owner != pid:
+        if _OWNED[name][1] != pid:
             continue
-        try:
-            segment.close()
-        except BufferError:
-            pass
-        try:
-            segment.unlink()
-        except FileNotFoundError:
-            pass
+        segment, _ = _OWNED.pop(name)
+        _unlink_owned(segment)
 
 
 def attach_floats(name: str, count: int) -> np.ndarray:

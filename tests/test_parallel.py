@@ -18,6 +18,7 @@ between runs and carry no scheduling information.
 import os
 import pickle
 import random
+import time
 
 import numpy as np
 import pytest
@@ -356,3 +357,109 @@ class TestShardedColumnarDay:
             run_columnar_day_sharded(
                 EnkiMechanism(seed=0), _columnar_neighborhood(n=5), shards=0
             )
+
+
+# ----------------------------------------------------- retry backoff pacing
+
+_PARENT_PID = os.getpid()
+
+
+def _triples_in_parent_only(value):
+    """Hangs forever in pool workers, succeeds inline in the parent."""
+    if os.getpid() != _PARENT_PID:
+        time.sleep(60.0)
+    return value * 3
+
+
+def _raises_in_children(value):
+    """Deterministically fails in pool workers, succeeds in the parent."""
+    if os.getpid() != _PARENT_PID:
+        raise RuntimeError("child-only fault")
+    return value * 3
+
+
+class TestBackoffDelay:
+    def test_zero_jitter_is_bare_exponential(self):
+        base = 0.05
+        for attempt in range(1, 6):
+            expected = base * 2 ** (attempt - 1)
+            assert parallel_mod.backoff_delay(attempt, base, jitter=0.0) == expected
+
+    def test_jitter_stretches_within_bounds(self):
+        base, jitter = 0.05, 0.5
+        for attempt in (1, 2, 3):
+            floor = base * 2 ** (attempt - 1)
+            draws = [
+                parallel_mod.backoff_delay(attempt, base, jitter)
+                for _ in range(200)
+            ]
+            assert all(floor <= d <= floor * (1.0 + jitter) for d in draws)
+            # 200 draws from a uniform stretch collapsing to one value
+            # would mean the jitter is not actually applied.
+            assert len(set(draws)) > 1
+
+    def test_knobs_validated(self):
+        with pytest.raises(ValueError):
+            parallel_mod.backoff_delay(0)
+        with pytest.raises(ValueError):
+            parallel_mod.backoff_delay(1, jitter=-0.1)
+        with pytest.raises(ValueError):
+            map_tasks(_triples_in_parent_only, [1], jitter=-0.1)
+
+
+class TestStallAndInlineRerun:
+    def test_stall_detector_kills_and_recovers_inline(self):
+        # Workers hang forever: with the stall detector armed and no
+        # retries, the pool is killed and every payload re-runs inline in
+        # the parent — the batch still completes with the right values.
+        failures = []
+        result = map_tasks(
+            _triples_in_parent_only,
+            [1, 2],
+            workers=2,
+            timeout_s=0.5,
+            retries=0,
+            backoff_s=0.0,
+            jitter=0.0,
+            on_failure=failures.append,
+        )
+        assert result == [3, 6]
+        assert failures and all("stalled" in f.cause for f in failures)
+
+    def test_deterministic_child_failure_reruns_inline(self):
+        # A payload that fails on *every* pool attempt exhausts its
+        # retries and is recomputed inline — same semantics as serial.
+        failures = []
+        result = map_tasks(
+            _raises_in_children,
+            [4, 5],
+            workers=2,
+            retries=1,
+            backoff_s=0.0,
+            jitter=0.0,
+            on_failure=failures.append,
+        )
+        assert result == [12, 15]
+        assert sorted(f.attempt for f in failures) == [1, 1, 2, 2]
+        assert all("child-only fault" in f.cause for f in failures)
+
+
+class TestArenaAtexitInterplay:
+    def test_dispose_after_global_sweep_is_quiet(self):
+        # The atexit sweep (_dispose_all_owned) and a later explicit
+        # dispose used to double-unlink; both orders must now be no-ops
+        # the second time, with no leaked segments either way.
+        arena = shm.SharedArena()
+        name = arena.pack_day(_columnar_neighborhood(n=6)).segment
+        assert name in shm.active_segments()
+        shm._dispose_all_owned()
+        assert name not in shm.active_segments()
+        arena.dispose()  # after the sweep: must not warn or raise
+        assert shm.active_segments() == ()
+
+    def test_context_exit_then_sweep_is_quiet(self):
+        with shm.SharedArena() as arena:
+            name = arena.pack_day(_columnar_neighborhood(n=6)).segment
+        assert name not in shm.active_segments()
+        shm._dispose_all_owned()  # nothing left to sweep; must be silent
+        assert shm.active_segments() == ()

@@ -424,6 +424,36 @@ class TestCheckpointStore:
         reloaded = CheckpointStore(path)
         assert set(reloaded.completed()) == {"day-0"}
 
+    def test_torn_tail_is_physically_truncated(self, tmp_path):
+        # Loading past a torn tail must also *repair* the file: a later
+        # append lands on a clean line boundary instead of concatenating
+        # onto the garbage half-line.
+        path = str(tmp_path / "ck.jsonl")
+        store = CheckpointStore(path)
+        store.append("day-0", {"x": 1})
+        clean_size = os.path.getsize(path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"key": "day-1", "payl')  # kill mid-append
+        resumed = CheckpointStore(path)
+        assert set(resumed.completed()) == {"day-0"}
+        assert os.path.getsize(path) == clean_size  # tail removed on disk
+        resumed.append("day-1", {"x": 2})
+        replayed = CheckpointStore(path)
+        assert replayed.completed() == {"day-0": {"x": 1}, "day-1": {"x": 2}}
+
+    def test_midfile_corruption_is_not_forgiven(self, tmp_path):
+        # A bad line with intact records after it cannot come from a kill
+        # mid-append — that is real corruption and must raise, not be
+        # silently skipped like a torn tail.
+        path = str(tmp_path / "ck.jsonl")
+        store = CheckpointStore(path)
+        store.append("day-0", {"x": 1})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"key": "day-1", "payl\n')
+        CheckpointStore(path).append("day-2", {"x": 3})
+        with pytest.raises(CheckpointError, match="not a torn tail"):
+            CheckpointStore(path).completed()
+
     def test_malformed_record_raises(self, tmp_path):
         path = str(tmp_path / "ck.jsonl")
         with open(path, "w", encoding="utf-8") as handle:
