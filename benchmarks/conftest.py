@@ -44,6 +44,20 @@ def _cpu_cores_logical() -> int:
     return os.cpu_count() or 1
 
 
+@pytest.fixture(scope="session", autouse=True)
+def warm_jit_kernels():
+    """Warm the JIT kernel cache once before any benchmark times anything.
+
+    One-time numba compilation (or cache load) must never land inside a
+    timed region; the cost is recorded separately as
+    ``jit_compile_seconds`` in the BENCH meta.  A no-op on the python
+    backend.
+    """
+    from repro.kernels import warm_kernels
+
+    warm_kernels()
+
+
 @pytest.fixture(scope="session")
 def bench_json():
     """Recorder that persists named wall-time entries to ``BENCH_core.json``.
@@ -72,6 +86,8 @@ def bench_json():
             pass
     for section, section_entries in entries.items():
         payload.setdefault(section, {}).update(section_entries)
+    from repro.kernels import kernel_meta
+
     payload["meta"] = {
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": platform.python_version(),
@@ -81,6 +97,10 @@ def bench_json():
         "cpu_cores_visible": _cpu_cores(),
         "cpu_cores_logical": _cpu_cores_logical(),
         "platform": platform.platform(),
+        # Kernel provenance: which repro.kernels build timed entries ran
+        # under, the numba version (null on the python fallback), and the
+        # one-time compile cost excluded from every timed region.
+        **kernel_meta(),
     }
     BENCH_JSON_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 

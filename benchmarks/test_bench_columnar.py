@@ -40,8 +40,15 @@ def _columnar_day(n_households, seed=2017):
 
 
 def _record_day(bench_json, name, n_households, repeats):
+    from repro.kernels import active_backend
+
     seconds = time_call(lambda: _columnar_day(n_households), repeats=repeats)
-    bench_json(name, seconds=seconds, n_households=n_households)
+    bench_json(
+        name,
+        seconds=seconds,
+        n_households=n_households,
+        kernel_backend=active_backend(),
+    )
     return seconds
 
 
@@ -99,6 +106,8 @@ def test_bench_day_n1m_sharded(bench_json):
     assert outcome.settlement.total_cost > 0
     assert len(outcome.allocation_starts) == n
 
+    from repro.kernels import active_backend
+
     cores = available_cores()
     bench_json(
         "day_n1m",
@@ -108,6 +117,7 @@ def test_bench_day_n1m_sharded(bench_json):
         shards=shards,
         workers=workers,
         cpu_cores_visible=cores,
+        kernel_backend=active_backend(),
     )
     if cores >= 4:
         assert day_s < _DAY_N1M_BUDGET_S, (
@@ -127,12 +137,19 @@ def test_bench_greedy_solve_n100k(bench_json):
     compiled = ColumnarReports.truthful(neighborhood).compile(
         neighborhood, pricing
     )
+    from repro.kernels import active_backend
+
     allocator = GreedyFlexibilityAllocator()
     seconds = time_call(
         lambda: allocator.solve_columnar(compiled, pricing, random.Random(0)),
         repeats=3,
     )
-    bench_json("greedy_solve_n100k", seconds=seconds, n_households=n)
+    bench_json(
+        "greedy_solve_n100k",
+        seconds=seconds,
+        n_households=n,
+        kernel_backend=active_backend(),
+    )
     result = allocator.solve_columnar(compiled, pricing, random.Random(0))
     assert bool(np.all(result.starts >= compiled.win_start))
     assert bool(np.all(result.starts + compiled.duration <= compiled.win_end))

@@ -118,6 +118,87 @@ def test_bench_bnb_n30_smoke(benchmark):
     )
 
 
+def test_bench_greedy_kernel_n100k(bench_json):
+    """Perf-smoke gate for the JIT placement kernel: numba >= 3x python.
+
+    Times the bare ``solve_columnar`` sweep at n = 100k under each kernel
+    backend (same compiled problem, same rng seed — the allocations are
+    bit-identical by construction, asserted here too) and records the A/B
+    into ``BENCH_core.json``.  Without a working numba the gate records
+    the python time and skips with a logged reason — the fallback must
+    keep working everywhere, the speedup only binds where numba exists.
+    """
+    import logging
+
+    import pytest
+
+    from repro.allocation.greedy import GreedyFlexibilityAllocator
+    from repro.core.columnar import ColumnarReports
+    from repro.kernels import forced_backend, numba_available, warm_kernels
+    from repro.sim.profiles import ProfileGenerator
+
+    n = 100_000
+    cols = ProfileGenerator().sample_population_columnar(
+        np.random.default_rng(2017), n
+    )
+    neighborhood = cols.to_neighborhood("wide")
+    pricing = QuadraticPricing()
+    compiled = ColumnarReports.truthful(neighborhood).compile(
+        neighborhood, pricing
+    )
+    allocator = GreedyFlexibilityAllocator()
+
+    def _solve():
+        return allocator.solve_columnar(compiled, pricing, random.Random(0))
+
+    with forced_backend("python"):
+        python_result = _solve()
+        best_python = float("inf")
+        for _ in range(3):
+            started = time.perf_counter()
+            _solve()
+            best_python = min(best_python, time.perf_counter() - started)
+
+    if not numba_available():
+        bench_json(
+            "greedy_kernel_n100k",
+            n_households=n,
+            python_seconds=best_python,
+            numba_seconds=None,
+            speedup=None,
+        )
+        message = (
+            "numba is not importable on this runner; recorded the python "
+            f"kernel time ({best_python:.3f}s) and skipped the >=3x gate"
+        )
+        logging.getLogger(__name__).info(message)
+        pytest.skip(message)
+
+    with forced_backend("numba"):
+        warm_kernels()  # compile outside the timed region
+        numba_result = _solve()
+        best_numba = float("inf")
+        for _ in range(3):
+            started = time.perf_counter()
+            _solve()
+            best_numba = min(best_numba, time.perf_counter() - started)
+
+    assert np.array_equal(python_result.starts, numba_result.starts)
+    assert python_result.cost == numba_result.cost
+    speedup = best_python / best_numba if best_numba > 0 else float("inf")
+    bench_json(
+        "greedy_kernel_n100k",
+        n_households=n,
+        python_seconds=best_python,
+        numba_seconds=best_numba,
+        speedup=speedup,
+    )
+    assert speedup >= 3.0, (
+        f"numba placement kernel is only {speedup:.2f}x the python build "
+        f"({best_numba:.3f}s vs {best_python:.3f}s); the gate requires 3x"
+    )
+
+
 def test_bench_study_throughput_workers2(bench_json):
     """Perf-smoke gate for the parallel day fan-out.
 

@@ -162,6 +162,35 @@ class CompiledProblem:
     def __len__(self) -> int:
         return len(self.ids)
 
+    def kernel_columns(
+        self,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """``(win_start, win_end, duration, rating)`` for the JIT kernels.
+
+        The four per-item columns the :mod:`repro.kernels` placement sweep
+        reads, guaranteed contiguous in compiled row order (both
+        constructors run them through ``np.fromiter``/``ascontiguousarray``)
+        so the compiled build never copies.
+        """
+        return self.win_start, self.win_end, self.duration, self.rating
+
+    def begin_candidates(
+        self, i: int, offset: int = 0
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Item ``i``'s begin/end prefix-index vectors from ``offset`` on.
+
+        The branch-and-bound expansion skips the first ``offset``
+        candidates when the symmetry constraint floors the begin slot;
+        step-1 slices of the flat arange stay contiguous, so the pair
+        feeds the compiled kernel without copies.
+        """
+        starts_idx = self.start_index[i]
+        ends_idx = self.end_index[i]
+        if offset:
+            starts_idx = starts_idx[offset:]
+            ends_idx = ends_idx[offset:]
+        return starts_idx, ends_idx
+
     def block_sums(self, prefix: np.ndarray, i: int) -> np.ndarray:
         """Existing-load sum under every candidate block of item ``i``.
 

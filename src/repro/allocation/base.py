@@ -139,6 +139,11 @@ class AllocationResult:
     relaxation certified the incumbent — either immediately (the reported
     ``nodes_explored`` is then 1, the root evaluation) or as soon as the
     search found an incumbent meeting the root bound.
+
+    ``kernel_backend`` records which :mod:`repro.kernels` build ran the
+    solver's hot loop (``"numba"`` or ``"python"``; empty for allocators
+    that have no kernelized loop).  Diagnostic only — both builds are
+    bit-identical — but essential provenance for benchmark entries.
     """
 
     allocation: AllocationMap
@@ -151,6 +156,7 @@ class AllocationResult:
     served_tier: int = 0
     fallback_trail: Tuple = ()
     root_bound_matched: bool = False
+    kernel_backend: str = ""
 
 
 @dataclass
@@ -173,6 +179,7 @@ class ColumnarAllocationResult:
     served_tier: int = 0
     fallback_trail: Tuple = ()
     root_bound_matched: bool = False
+    kernel_backend: str = ""
 
     def to_result(self, compiled: "CompiledProblem") -> AllocationResult:
         """Materialize the dict-of-intervals :class:`AllocationResult`."""
@@ -193,6 +200,7 @@ class ColumnarAllocationResult:
             served_tier=self.served_tier,
             fallback_trail=self.fallback_trail,
             root_bound_matched=self.root_bound_matched,
+            kernel_backend=self.kernel_backend,
         )
 
 
@@ -273,6 +281,7 @@ class Allocator(abc.ABC):
             served_tier=result.served_tier,
             fallback_trail=result.fallback_trail,
             root_bound_matched=result.root_bound_matched,
+            kernel_backend=result.kernel_backend,
         )
 
     def _finish(
@@ -284,6 +293,7 @@ class Allocator(abc.ABC):
         nodes_explored: int = 0,
         lower_bound: Optional[float] = None,
         root_bound_matched: bool = False,
+        kernel_backend: str = "",
     ) -> AllocationResult:
         """Assemble a result, validating feasibility."""
         if not problem.is_feasible(allocation):
@@ -299,4 +309,5 @@ class Allocator(abc.ABC):
             lower_bound=lower_bound,
             allocator_name=self.name,
             root_bound_matched=root_bound_matched,
+            kernel_backend=kernel_backend,
         )

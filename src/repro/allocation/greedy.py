@@ -13,10 +13,13 @@ Two solve paths share the placement logic:
   ``AllocationItem``s, with a fresh prefix-sum rebuild per placement.
 * :meth:`GreedyFlexibilityAllocator.solve_columnar` — the large-n kernel:
   one ``flexibility_vector`` call, one ``np.lexsort`` with vectorized
-  random tie-break keys, and O(duration) incremental prefix/load updates
-  per placement instead of a full ``np.cumsum``.  On the paper's
-  exact-binary ratings every partial sum is exact, so the two paths pick
-  identical placements (pinned by ``tests/test_columnar_equivalence.py``).
+  random tie-break keys, then the whole ordered-placement sweep in
+  :func:`repro.kernels.placement.place_day` — numba-compiled when the
+  kernel registry selects it, the bit-identical pure-python reference
+  otherwise, with the backend that ran recorded on the result.  On the
+  paper's exact-binary ratings every partial sum is exact, so the two
+  paths pick identical placements (pinned by
+  ``tests/test_columnar_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -30,6 +33,8 @@ import numpy as np
 from ..core.flexibility import flexibility_vector
 from ..core.intervals import HOURS_PER_DAY, Interval
 from ..core.types import AllocationMap, HouseholdId
+from ..kernels import active_backend
+from ..kernels.placement import PlacementScratch, place_day
 from ..pricing.base import PricingModel
 from ..pricing.load_profile import LoadProfile
 from ..pricing.quadratic import QuadraticPricing
@@ -60,17 +65,6 @@ def predicted_flexibility_for_problem(
         compiled.win_start, compiled.win_end, compiled.duration
     )
     return dict(zip(compiled.ids, scores.tolist()))
-
-
-#: ``_RAMPS[v][k]`` is how many hours of a duration-``v`` block beginning
-#: at ``s`` lie at or before hour ``s + 1 + k`` — i.e. ``min(k + 1, v)``.
-#: Adding ``rating * _RAMPS[v][:24 - s]`` to ``prefix[s + 1:]`` applies a
-#: placement to a maintained prefix-sum vector in O(24) without the full
-#: ``np.cumsum`` rebuild.
-_RAMPS = [None] + [
-    np.minimum(np.arange(1, HOURS_PER_DAY + 1, dtype=float), float(v))
-    for v in range(1, HOURS_PER_DAY + 1)
-]
 
 
 class GreedyFlexibilityAllocator(Allocator):
@@ -111,11 +105,12 @@ class GreedyFlexibilityAllocator(Allocator):
 
         loads = np.zeros(HOURS_PER_DAY, dtype=float)
         prefix = np.zeros(HOURS_PER_DAY + 1, dtype=float)
+        window_prefix = np.zeros(HOURS_PER_DAY + 1, dtype=float)
         allocation: AllocationMap = {}
         quadratic = isinstance(problem.pricing, QuadraticPricing)
         for item in order:
             best_start = self._best_start(
-                problem, compiled, loads, prefix, item, quadratic
+                problem, compiled, loads, prefix, item, quadratic, window_prefix
             )
             placed = Interval(best_start, best_start + item.duration)
             allocation[item.household_id] = placed
@@ -136,9 +131,10 @@ class GreedyFlexibilityAllocator(Allocator):
         the processing order is one stable ``np.lexsort`` over
         ``(tie_key, flexibility)`` with tie keys drawn in row order from
         ``rng`` (the same draw sequence the object path's ``sorted`` key
-        function consumes); each placement updates the running load and
-        its prefix sum incrementally in O(24) instead of recomputing a
-        full ``np.cumsum``.
+        function consumes); the ordered-placement sweep itself — candidate
+        argmin plus O(24) incremental load/prefix updates per placement —
+        runs in :func:`repro.kernels.placement.place_day`, compiled or
+        pure-python per the kernel registry, bit-identical either way.
         """
         started_at = time.perf_counter()
         rng = rng if rng is not None else random.Random(self._seed)
@@ -150,6 +146,7 @@ class GreedyFlexibilityAllocator(Allocator):
                 cost=pricing.cost(LoadProfile()),
                 wall_time_s=time.perf_counter() - started_at,
                 allocator_name=self.name,
+                kernel_backend=active_backend(),
             )
 
         flex = flexibility_vector(
@@ -160,29 +157,17 @@ class GreedyFlexibilityAllocator(Allocator):
         )
         order = np.lexsort((keys, flex if self.ascending else -flex))
 
-        quadratic = isinstance(pricing, QuadraticPricing)
-        loads = np.zeros(HOURS_PER_DAY, dtype=float)
-        prefix = np.zeros(HOURS_PER_DAY + 1, dtype=float)
-        win_start = compiled.win_start.tolist()
-        win_end = compiled.win_end.tolist()
-        duration = compiled.duration.tolist()
-        rating = compiled.rating.tolist()
-        start_index = compiled.start_index
-        end_index = compiled.end_index
-        for i in order.tolist():
-            a, v, r = win_start[i], duration[i], rating[i]
-            if quadratic:
-                sums = prefix[end_index[i]] - prefix[start_index[i]]
-                s = a + int(np.argmin(sums))
-            else:
-                b = win_end[i]
-                hourly = pricing.marginal_cost_batch(loads[a:b], r)
-                window_prefix = np.concatenate(([0.0], np.cumsum(hourly)))
-                deltas = window_prefix[v:] - window_prefix[:-v]
-                s = a + int(np.argmin(deltas))
-            starts_out[i] = s
-            loads[s:s + v] += r
-            prefix[s + 1:] += r * _RAMPS[v][:HOURS_PER_DAY - s]
+        win_start, win_end, duration, rating = compiled.kernel_columns()
+        backend = place_day(
+            order,
+            win_start,
+            win_end,
+            duration,
+            rating,
+            pricing,
+            starts_out,
+            PlacementScratch(),
+        )
 
         # Cost through the same difference-array builder the object path's
         # ``problem.cost`` uses, rows in compiled order, so the float
@@ -195,6 +180,7 @@ class GreedyFlexibilityAllocator(Allocator):
             cost=pricing.cost(profile),
             wall_time_s=time.perf_counter() - started_at,
             allocator_name=self.name,
+            kernel_backend=backend,
         )
 
     @staticmethod
@@ -205,6 +191,7 @@ class GreedyFlexibilityAllocator(Allocator):
         prefix: np.ndarray,
         item,
         quadratic: bool,
+        window_prefix: np.ndarray,
     ) -> int:
         """Begin slot minimizing the marginal cost of this item's block.
 
@@ -215,8 +202,10 @@ class GreedyFlexibilityAllocator(Allocator):
         one vectorized subtraction, reused across placements instead of
         re-convolving per item.  Other pricing models get the same
         sliding-window treatment over batched per-hour marginal costs
-        (which depend only on that hour's load), so no candidate rescans
-        its hours.
+        (which depend only on that hour's load), accumulated into the
+        caller's reused ``window_prefix`` scratch row (entry 0 stays 0)
+        instead of a per-item ``np.concatenate`` — so no candidate rescans
+        its hours and no placement allocates.
         """
         a, b, v = item.window.start, item.window.end, item.duration
         if quadratic:
@@ -224,7 +213,8 @@ class GreedyFlexibilityAllocator(Allocator):
             sums = compiled.block_sums(prefix, compiled.index_of[item.household_id])
             return a + int(np.argmin(sums))
 
+        width = b - a
         hourly = problem.pricing.marginal_cost_batch(loads[a:b], item.rating_kw)
-        window_prefix = np.concatenate(([0.0], np.cumsum(hourly)))
-        deltas = window_prefix[v:] - window_prefix[:-v]
+        np.cumsum(hourly, out=window_prefix[1:width + 1])
+        deltas = window_prefix[v:width + 1] - window_prefix[:width + 1 - v]
         return a + int(np.argmin(deltas))

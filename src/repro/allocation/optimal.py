@@ -58,6 +58,8 @@ import numpy as np
 
 from ..core.intervals import HOURS_PER_DAY, Interval
 from ..core.types import AllocationMap
+from ..kernels import active_backend
+from ..kernels.bnb import child_expander
 from ..pricing.quadratic import QuadraticPricing
 from .arrays import CompiledProblem, SuffixArrays
 from .base import AllocationItem, AllocationProblem, AllocationResult, Allocator
@@ -157,7 +159,13 @@ class BranchAndBoundAllocator(Allocator):
         sigma = problem.pricing.sigma
 
         if not problem.items:
-            return self._finish(problem, {}, started_at, proven_optimal=True)
+            return self._finish(
+                problem,
+                {},
+                started_at,
+                proven_optimal=True,
+                kernel_backend=active_backend(),
+            )
 
         # Branch order: fewest placements first; identical specs adjacent so
         # the symmetry constraint below applies.
@@ -267,6 +275,7 @@ class BranchAndBoundAllocator(Allocator):
                     nodes_explored=1,
                     lower_bound=root_lower_bound,
                     root_bound_matched=True,
+                    kernel_backend=state.kernel_backend,
                 )
 
         state.root_lower_bound = root_lower_bound
@@ -298,6 +307,7 @@ class BranchAndBoundAllocator(Allocator):
             nodes_explored=state.nodes,
             lower_bound=state.incumbent_cost if proven else root_lower_bound,
             root_bound_matched=root_bound_matched,
+            kernel_backend=state.kernel_backend,
         )
 
     def _solve_parallel(
@@ -437,6 +447,7 @@ class BranchAndBoundAllocator(Allocator):
             nodes_explored=max(total_nodes, 1),
             lower_bound=merged_cost if proven else root_lower_bound,
             root_bound_matched=matched,
+            kernel_backend=state.kernel_backend,
         )
 
 
@@ -483,20 +494,21 @@ def _expand_frontier(
                 prev = starts_prefix[depth - 1]
                 if prev > min_start:
                     min_start = prev
-            np.cumsum(loads_arr, out=prefix_sums[1:])
-            starts_idx = compiled.start_index[depth]
-            ends_idx = compiled.end_index[depth]
-            offset = min_start - win_start
-            if offset:
-                starts_idx = starts_idx[offset:]
-                ends_idx = ends_idx[offset:]
+            starts_idx, ends_idx = compiled.begin_candidates(
+                depth, min_start - win_start
+            )
             self_term = state.sigma * rating * rating * duration
             two_sigma_r = 2.0 * state.sigma * rating
-            deltas = (
-                two_sigma_r * (prefix_sums[ends_idx] - prefix_sums[starts_idx])
-                + self_term
+            deltas, order = state._expand(
+                loads_arr,
+                starts_idx,
+                ends_idx,
+                two_sigma_r,
+                self_term,
+                prefix_sums,
+                state._deltas_buf,
+                state._order_buf,
             )
-            order = np.argsort(deltas, kind="stable")
             deltas_list = deltas.tolist()
             for child in order.tolist():
                 child_cost = cost + deltas_list[child]
@@ -696,8 +708,17 @@ class _SearchState:
             self._tail_durations[k] = [self._duration[i] for i in range(k, n)]
             self._tail_counts[k] = suffix.counts[k].tolist()
         self._transport_cache: "OrderedDict[tuple, float]" = OrderedDict()
-        # Scratch prefix-sum buffer for the per-node candidate evaluation.
+        # Shared node-expansion kernel — prefix-sum rebuild, per-candidate
+        # marginal-cost deltas, stable cheapest-first child order — compiled
+        # or pure-python per the repro.kernels registry (resolved here, so
+        # worker processes building their own states pick up the
+        # env-mirrored backend choice), plus its scratch rows.  The
+        # returned views are copied (``.tolist()``) before any recursion,
+        # so one set of buffers serves the whole search.
+        self._expand, self.kernel_backend = child_expander()
         self._prefix = np.zeros(HOURS_PER_DAY + 1, dtype=np.float64)
+        self._deltas_buf = np.empty(HOURS_PER_DAY, dtype=np.float64)
+        self._order_buf = np.empty(HOURS_PER_DAY, dtype=np.intp)
 
     def tail_windows(self, depth: int) -> List[List[int]]:
         """Remaining households' window hour lists from ``depth`` on."""
@@ -921,22 +942,27 @@ class _SearchState:
             if prev > min_start:
                 min_start = prev
 
-        # Marginal cost of every placement in one vectorized pass: each
-        # candidate block's existing-load sum is a prefix-sum delta via the
-        # compiled begin-candidate index vectors; a stable argsort visits
-        # children cheapest-first (ties by earlier start, as before).
-        prefix = self._prefix
-        np.cumsum(loads_arr, out=prefix[1:])
-        starts_idx = self.compiled.start_index[depth]
-        ends_idx = self.compiled.end_index[depth]
-        offset = min_start - win_start
-        if offset:
-            starts_idx = starts_idx[offset:]
-            ends_idx = ends_idx[offset:]
+        # Marginal cost of every placement in one pass: each candidate
+        # block's existing-load sum is a prefix-sum delta via the compiled
+        # begin-candidate index vectors; a stable ordering visits children
+        # cheapest-first (ties by earlier start, as before).  The kernel is
+        # the registry-selected build — compiled when numba serves,
+        # bit-identical python otherwise.
+        starts_idx, ends_idx = self.compiled.begin_candidates(
+            depth, min_start - win_start
+        )
         self_term = self.sigma * rating * rating * duration
         two_sigma_r = 2.0 * self.sigma * rating
-        deltas = two_sigma_r * (prefix[ends_idx] - prefix[starts_idx]) + self_term
-        order = np.argsort(deltas, kind="stable")
+        deltas, order = self._expand(
+            loads_arr,
+            starts_idx,
+            ends_idx,
+            two_sigma_r,
+            self_term,
+            self._prefix,
+            self._deltas_buf,
+            self._order_buf,
+        )
         deltas_list = deltas.tolist()
 
         threshold = self._prune_threshold()

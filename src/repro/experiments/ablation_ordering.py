@@ -53,12 +53,13 @@ class ArrivalOrderGreedy(GreedyFlexibilityAllocator):
 
         loads = np.zeros(HOURS_PER_DAY, dtype=float)
         prefix = np.zeros(HOURS_PER_DAY + 1, dtype=float)
+        window_prefix = np.zeros(HOURS_PER_DAY + 1, dtype=float)
         allocation: AllocationMap = {}
         quadratic = isinstance(problem.pricing, QuadraticPricing)
         compiled = compile_problem(problem)
         for item in order:
             best_start = self._best_start(
-                problem, compiled, loads, prefix, item, quadratic
+                problem, compiled, loads, prefix, item, quadratic, window_prefix
             )
             placed = Interval(best_start, best_start + item.duration)
             allocation[item.household_id] = placed

@@ -176,6 +176,7 @@ def day_outcome_to_dict(outcome: DayOutcome) -> Dict[str, Any]:
             "nodes_explored": result.nodes_explored,
             "lower_bound": result.lower_bound,
             "root_bound_matched": result.root_bound_matched,
+            "kernel_backend": result.kernel_backend,
             "served_tier": result.served_tier,
             "fallback_trail": [
                 record.as_payload() for record in result.fallback_trail
@@ -207,6 +208,7 @@ def day_outcome_from_dict(document: Mapping[str, Any]) -> DayOutcome:
         nodes_explored=int(allocator.get("nodes_explored", 0)),
         lower_bound=None if lower_bound is None else float(lower_bound),
         root_bound_matched=bool(allocator.get("root_bound_matched", False)),
+        kernel_backend=str(allocator.get("kernel_backend", "")),
         allocator_name=str(allocator.get("name", "")),
         served_tier=int(allocator.get("served_tier", 0)),
         fallback_trail=tuple(

@@ -1,0 +1,73 @@
+"""Kernel 2: branch-and-bound child enumeration.
+
+One node expansion in the exact solver is: rebuild the 24-hour load
+prefix sum, evaluate every begin candidate's exact marginal cost through
+the compiled begin/end index vectors, and stable-argsort the candidates
+cheapest-first.  Both the serial DFS (``_SearchState.search``) and the
+parallel frontier expansion (``_expand_frontier``) run that same step;
+:func:`child_expander` hands them one shared callable, compiled when the
+registry selects numba.
+
+Everything around the step — transposition table, bounds, symmetry
+floor, sibling cutoff, recursion — stays in Python; the kernel only
+feeds it child costs.  The compiled build replicates the numpy float
+sequence exactly (``np.cumsum`` accumulation order, stable ordering), so
+node counts, incumbents and proven/verdict fields cannot move.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+from . import _load_impl, active_backend, jit_ready
+
+#: ``(loads_arr, starts_idx, ends_idx, two_sigma_r, self_term, prefix,
+#: deltas_buf, order_buf) -> (deltas, order)``
+Expander = Callable[..., Tuple[np.ndarray, np.ndarray]]
+
+
+def _expand_python(
+    loads_arr, starts_idx, ends_idx, two_sigma_r, self_term, prefix,
+    deltas_buf, order_buf,
+):
+    """The reference expansion — the exact numpy lines it was lifted from."""
+    np.cumsum(loads_arr, out=prefix[1:])
+    deltas = two_sigma_r * (prefix[ends_idx] - prefix[starts_idx]) + self_term
+    order = np.argsort(deltas, kind="stable")
+    return deltas, order
+
+
+def child_expander() -> Tuple[Expander, str]:
+    """The node-expansion callable for the backend active right now.
+
+    Returns ``(expand, backend)``.  Resolved once per search state —
+    worker processes build their own states, so the env-mirrored backend
+    choice reaches them whichever start method the pool uses.
+
+    The returned ``deltas``/``order`` may alias the caller's scratch
+    buffers; callers copy (``.tolist()``) before recursing, exactly as
+    the inline code always has.
+    """
+    if active_backend() == "numba" and jit_ready():
+        impl = _load_impl()
+
+        def _expand_numba(
+            loads_arr, starts_idx, ends_idx, two_sigma_r, self_term, prefix,
+            deltas_buf, order_buf,
+        ):
+            count = impl.bnb_children(
+                loads_arr,
+                starts_idx,
+                ends_idx,
+                two_sigma_r,
+                self_term,
+                prefix,
+                deltas_buf,
+                order_buf,
+            )
+            return deltas_buf[:count], order_buf[:count]
+
+        return _expand_numba, "numba"
+    return _expand_python, "python"

@@ -1,0 +1,161 @@
+"""Kernel 1: the greedy ``solve_columnar`` ordered-placement sweep.
+
+:func:`place_day` runs the whole placement loop of
+:meth:`repro.allocation.greedy.GreedyFlexibilityAllocator.solve_columnar`
+— per-item window-sum argmin (quadratic closed form, or the batched
+marginal-cost sliding window for other pricing), the placement itself,
+and the incremental load/prefix updates — dispatching to the numba build
+when the registry selects it and the pricing model has a compiled form
+(exactly :class:`~repro.pricing.quadratic.QuadraticPricing` or
+:class:`~repro.pricing.piecewise.TwoStepPricing`).
+
+The processing order and its random tie-break keys are computed by the
+caller (one ``flexibility_vector`` call, one ``np.lexsort`` over keys
+drawn in row order from ``random.Random``), so the per-household
+placement sequence — and therefore the allocation — is independent of
+the backend.  Inside the sweep both builds perform the same float
+operations in the same order; see :mod:`repro.kernels._numba_impl`.
+
+The python build is itself leaner than the loop it replaces: the
+per-item ``np.concatenate(([0.0], np.cumsum(hourly)))`` window prefix of
+the non-quadratic branch now lands in a reused scratch row
+(:class:`PlacementScratch`), and candidate window sums come from two
+prefix-vector slices instead of per-item fancy-index vectors.  The
+values are unchanged — same elements, same subtraction — only the
+allocation churn is gone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.intervals import HOURS_PER_DAY
+from ..pricing.base import PricingModel
+from ..pricing.piecewise import TwoStepPricing
+from ..pricing.quadratic import QuadraticPricing
+from . import active_backend, jit_ready, _load_impl
+
+#: ``_RAMPS[v][k]`` is how many hours of a duration-``v`` block beginning
+#: at ``s`` lie at or before hour ``s + 1 + k`` — i.e. ``min(k + 1, v)``.
+#: Adding ``rating * _RAMPS[v][:24 - s]`` to ``prefix[s + 1:]`` applies a
+#: placement to a maintained prefix-sum vector in O(24) without the full
+#: ``np.cumsum`` rebuild.
+_RAMPS = [None] + [
+    np.minimum(np.arange(1, HOURS_PER_DAY + 1, dtype=float), float(v))
+    for v in range(1, HOURS_PER_DAY + 1)
+]
+
+
+class PlacementScratch:
+    """Reusable buffers for one placement sweep (no per-item allocation).
+
+    ``loads`` is the running hourly load, ``prefix`` its maintained
+    25-entry prefix sum (``prefix[0]`` stays 0), and ``window_prefix``
+    the per-item marginal-cost prefix row of the non-quadratic branch
+    (entry 0 stays 0; only ``[1:window+1]`` is rewritten per item).
+    """
+
+    __slots__ = ("loads", "prefix", "window_prefix")
+
+    def __init__(self) -> None:
+        self.loads = np.zeros(HOURS_PER_DAY, dtype=np.float64)
+        self.prefix = np.zeros(HOURS_PER_DAY + 1, dtype=np.float64)
+        self.window_prefix = np.zeros(HOURS_PER_DAY + 1, dtype=np.float64)
+
+    def reset(self) -> None:
+        """Zero the running state for a fresh sweep."""
+        self.loads[:] = 0.0
+        self.prefix[:] = 0.0
+        self.window_prefix[0] = 0.0
+
+
+def place_day(
+    order: np.ndarray,
+    win_start: np.ndarray,
+    win_end: np.ndarray,
+    duration: np.ndarray,
+    rating: np.ndarray,
+    pricing: PricingModel,
+    starts_out: np.ndarray,
+    scratch: PlacementScratch,
+) -> str:
+    """Place every household in ``order``; fill ``starts_out``.
+
+    Returns the backend that actually ran (``"numba"`` or ``"python"``)
+    — recorded on the allocation result.  Pricing models without a
+    compiled form always take the python sweep, whatever the registry
+    says.
+    """
+    scratch.reset()
+    if active_backend() == "numba" and jit_ready():
+        impl = _load_impl()
+        if type(pricing) is QuadraticPricing:
+            impl.place_quadratic(
+                order,
+                win_start,
+                win_end,
+                duration,
+                rating,
+                scratch.loads,
+                scratch.prefix,
+                starts_out,
+            )
+            return "numba"
+        if type(pricing) is TwoStepPricing:
+            impl.place_twostep(
+                order,
+                win_start,
+                win_end,
+                duration,
+                rating,
+                pricing.threshold_kw,
+                pricing.low_rate,
+                pricing.high_rate,
+                scratch.loads,
+                scratch.window_prefix,
+                starts_out,
+            )
+            return "numba"
+    _place_python(
+        order, win_start, win_end, duration, rating, pricing, starts_out, scratch
+    )
+    return "python"
+
+
+def _place_python(
+    order: np.ndarray,
+    win_start: np.ndarray,
+    win_end: np.ndarray,
+    duration: np.ndarray,
+    rating: np.ndarray,
+    pricing: PricingModel,
+    starts_out: np.ndarray,
+    scratch: PlacementScratch,
+) -> None:
+    """The reference sweep: plain NumPy, any pricing model."""
+    loads = scratch.loads
+    prefix = scratch.prefix
+    window_prefix = scratch.window_prefix
+    quadratic = isinstance(pricing, QuadraticPricing)
+    starts = win_start.tolist()
+    ends = win_end.tolist()
+    durations = duration.tolist()
+    ratings = rating.tolist()
+    for i in order.tolist():
+        a, v, r = starts[i], durations[i], ratings[i]
+        if quadratic:
+            count = ends[i] - a - v + 1
+            sums = prefix[a + v:a + v + count] - prefix[a:a + count]
+            s = a + int(np.argmin(sums))
+        else:
+            b = ends[i]
+            width = b - a
+            hourly = pricing.marginal_cost_batch(loads[a:b], r)
+            np.cumsum(hourly, out=window_prefix[1:width + 1])
+            deltas = (
+                window_prefix[v:width + 1] - window_prefix[:width + 1 - v]
+            )
+            s = a + int(np.argmin(deltas))
+        starts_out[i] = s
+        loads[s:s + v] += r
+        prefix[s + 1:] += r * _RAMPS[v][:HOURS_PER_DAY - s]
