@@ -118,7 +118,7 @@ def test_bench_bnb_n30_smoke(benchmark):
     )
 
 
-def test_bench_greedy_kernel_n100k(bench_json):
+def test_bench_greedy_kernel_n100k(bench_json, gate_note):
     """Perf-smoke gate for the JIT placement kernel: numba >= 3x python.
 
     Times the bare ``solve_columnar`` sweep at n = 100k under each kernel
@@ -171,6 +171,7 @@ def test_bench_greedy_kernel_n100k(bench_json):
             "numba is not importable on this runner; recorded the python "
             f"kernel time ({best_python:.3f}s) and skipped the >=3x gate"
         )
+        gate_note("greedy_kernel_n100k", False, message)
         logging.getLogger(__name__).info(message)
         pytest.skip(message)
 
@@ -193,13 +194,17 @@ def test_bench_greedy_kernel_n100k(bench_json):
         numba_seconds=best_numba,
         speedup=speedup,
     )
+    gate_note(
+        "greedy_kernel_n100k", True,
+        f"numba importable: {speedup:.2f}x over the python kernels",
+    )
     assert speedup >= 3.0, (
         f"numba placement kernel is only {speedup:.2f}x the python build "
         f"({best_numba:.3f}s vs {best_python:.3f}s); the gate requires 3x"
     )
 
 
-def test_bench_study_throughput_workers2(bench_json):
+def test_bench_study_throughput_workers2(bench_json, gate_note):
     """Perf-smoke gate for the parallel day fan-out.
 
     A columnar greedy study (n=20k x 12 days) run serially and with two
@@ -251,10 +256,16 @@ def test_bench_study_throughput_workers2(bench_json):
         cpu_cores_visible=cores,
     )
     if cores < 2:
-        pytest.skip(
+        message = (
             f"effective-parallelism gate needs >= 2 visible cores, have "
             f"{cores} (recorded {effective:.2f}x for the trajectory)"
         )
+        gate_note("study_throughput_workers2", False, message)
+        pytest.skip(message)
+    gate_note(
+        "study_throughput_workers2", True,
+        f"{cores} visible cores >= 2: {effective:.2f}x at workers=2",
+    )
     assert effective >= 1.5, (
         f"expected effective parallelism >= 1.5 at workers=2 on {cores} "
         f"visible cores, got {effective:.2f}x"

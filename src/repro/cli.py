@@ -73,6 +73,21 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="per-shard wall-clock deadline on the primary pool (city)",
     )
+    parser.add_argument(
+        "--stream",
+        action="store_true",
+        help=(
+            "ingest the city as an interleaved out-of-order report stream "
+            "(columnar micro-batching) instead of whole-shard arrays; "
+            "settlements are digest-identical either way (city)"
+        ),
+    )
+    parser.add_argument(
+        "--stream-chunk",
+        type=int,
+        default=4096,
+        help="rows per streamed report chunk with --stream (city)",
+    )
     parser.add_argument("--seed", type=int, default=None, help="master seed override")
     parser.add_argument(
         "--workers",
@@ -329,6 +344,8 @@ def _city(args: argparse.Namespace) -> int:
         deadline_s=args.deadline_s,
         journal=journal,
         audit=audit,
+        stream=args.stream,
+        stream_chunk=args.stream_chunk,
     )
     tiers = Counter(record.served_tier for record in result.records.values())
     rows = [

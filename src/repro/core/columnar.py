@@ -147,6 +147,20 @@ class ColumnarNeighborhood:
         object.__setattr__(self, "valuation", valuation)
         return self
 
+    def truthful_wire(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The truthful reports in wire form: three fresh float64 arrays.
+
+        What every household would put on the wire if it reported its true
+        window — the raw-array analogue of
+        :meth:`ColumnarReports.truthful`, used by the service drivers and
+        the streaming report generator.
+        """
+        return (
+            self.true_start.astype(np.float64),
+            self.true_end.astype(np.float64),
+            self.duration.astype(np.float64),
+        )
+
     def take(self, keep: np.ndarray) -> "ColumnarNeighborhood":
         """The subset of rows selected by boolean mask ``keep``."""
         idx = np.flatnonzero(keep)

@@ -23,6 +23,7 @@ import os
 import signal
 import time
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, FrozenSet, Mapping, Optional, Tuple
 
 import numpy as np
@@ -48,6 +49,51 @@ CORRUPTIONS = ("inverted-window", "nan-bound", "stretched-duration", "out-of-gri
 def _fault_rng(root: int, day: int, tag: int) -> np.random.Generator:
     """An independent generator keyed by (root, day, fault tag)."""
     return np.random.default_rng(np.random.SeedSequence(root, spawn_key=(tag, day)))
+
+
+@lru_cache(maxsize=64)
+def _flood_shapes(root: int, index: int, n: int, fraction: float) -> np.ndarray:
+    """Per-row corruption shape codes for one flood shard (``-1`` = clean).
+
+    The single source of flood randomness: one draw sequence keyed by
+    ``(root, index)`` decides victims and shapes for the whole shard, so
+    mass corruption applied to whole wire arrays
+    (:meth:`ChaosInjector.corrupt_shard_reports`) and to interleaved
+    stream chunks (:meth:`ChaosInjector.corrupt_stream_rows`) rewrites
+    exactly the same rows the same way — streamed and batch chaos runs
+    stay digest-identical.  Draw order is pinned: the skip of the
+    planning draw, then one uniform per row, then one shape per victim.
+    """
+    rng = _fault_rng(root, index, _FLOOD_KEY)
+    rng.random()  # skip the draw plan_service_faults consumed
+    victims = np.flatnonzero(rng.random(n) < fraction)
+    shapes = rng.integers(len(CORRUPTIONS), size=victims.shape[0])
+    codes = np.full(n, -1, dtype=np.int64)
+    codes[victims] = shapes
+    codes.setflags(write=False)
+    return codes
+
+
+def _apply_corruption_shapes(
+    codes: np.ndarray,
+    begin: np.ndarray,
+    end: np.ndarray,
+    duration: np.ndarray,
+) -> None:
+    """Rewrite rows in place according to their :data:`CORRUPTIONS` codes."""
+    for shape_index, shape in enumerate(CORRUPTIONS):
+        rows = np.flatnonzero(codes == shape_index)
+        if rows.size == 0:
+            continue
+        if shape == "inverted-window":
+            begin[rows], end[rows] = end[rows], begin[rows] - 1
+        elif shape == "nan-bound":
+            begin[rows] = float("nan")
+        elif shape == "stretched-duration":
+            duration[rows] = duration[rows] + 25
+        else:  # out-of-grid
+            begin[rows] = begin[rows] - 40
+            end[rows] = end[rows] + 40
 
 
 @dataclass(frozen=True)
@@ -271,23 +317,39 @@ class ChaosInjector:
         begin = np.array(begin, dtype=float)
         end = np.array(end, dtype=float)
         duration = np.array(duration, dtype=float)
-        rng = _fault_rng(plan.root, index, _FLOOD_KEY)
-        rng.random()  # skip the draw plan_service_faults consumed
-        victims = np.flatnonzero(rng.random(begin.shape[0]) < fraction)
-        shapes = rng.integers(len(CORRUPTIONS), size=victims.shape[0])
-        for shape_index, shape in enumerate(CORRUPTIONS):
-            rows = victims[shapes == shape_index]
-            if rows.size == 0:
-                continue
-            if shape == "inverted-window":
-                begin[rows], end[rows] = end[rows], begin[rows] - 1
-            elif shape == "nan-bound":
-                begin[rows] = float("nan")
-            elif shape == "stretched-duration":
-                duration[rows] = duration[rows] + 25
-            else:  # out-of-grid
-                begin[rows] = begin[rows] - 40
-                end[rows] = end[rows] + 40
+        codes = _flood_shapes(plan.root, index, begin.shape[0], fraction)
+        _apply_corruption_shapes(codes, begin, end, duration)
+        return begin, end, duration
+
+    def corrupt_stream_rows(
+        self,
+        index: int,
+        size: int,
+        rows: np.ndarray,
+        begin: np.ndarray,
+        end: np.ndarray,
+        duration: np.ndarray,
+        fraction: float = 0.3,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Corrupt a flood shard's rows *mid-stream*, chunk by chunk.
+
+        ``rows`` are the chunk's global row indices within a shard of
+        ``size`` households; ``begin``/``end``/``duration`` are the
+        chunk-local wire values for exactly those rows.  Victims and
+        shapes come from the same per-shard draw
+        (:func:`_flood_shapes`) that :meth:`corrupt_shard_reports` uses,
+        so a report is corrupted identically whether its shard floods in
+        one whole-array pass or spread across interleaved micro-batches —
+        the streamed chaos run settles digest-identical to the batch one.
+        """
+        plan = self.service_plan
+        if plan is None or index not in plan.flood_shards or rows.shape[0] == 0:
+            return begin, end, duration
+        begin = np.array(begin, dtype=float)
+        end = np.array(end, dtype=float)
+        duration = np.array(duration, dtype=float)
+        codes = _flood_shapes(plan.root, index, size, fraction)[rows]
+        _apply_corruption_shapes(codes, begin, end, duration)
         return begin, end, duration
 
     def supervisor_kill_due(self, settled: int) -> bool:
@@ -355,6 +417,18 @@ class _NullInjector:
     def corrupt_shard_reports(
         self,
         index: int,
+        begin: np.ndarray,
+        end: np.ndarray,
+        duration: np.ndarray,
+        fraction: float = 0.3,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return begin, end, duration
+
+    def corrupt_stream_rows(
+        self,
+        index: int,
+        size: int,
+        rows: np.ndarray,
         begin: np.ndarray,
         end: np.ndarray,
         duration: np.ndarray,

@@ -172,6 +172,39 @@ def clamp_raw_report(raw: RawReport, household: HouseholdType) -> Report:
     return Report(raw.household_id, Preference(Interval(begin, end), duration))
 
 
+def malformed_mask(
+    begin: np.ndarray,
+    end: np.ndarray,
+    duration: np.ndarray,
+    metered: np.ndarray,
+) -> np.ndarray:
+    """Boolean mask of wire rows that would fail report validation.
+
+    The union of :func:`validate_raw_report`'s failure conditions,
+    vectorized — one pass over float wire arrays, no per-row Python work.
+    (NaN compares unequal to everything, so ``x != trunc(x)`` also catches
+    it; ``~isfinite`` keeps the intent explicit.)  Shared by
+    :meth:`Quarantine.screen_columnar` at settlement and by the streaming
+    ingestor's flush-time admission screen, so both flag exactly the same
+    rows.
+    """
+    with np.errstate(invalid="ignore"):
+        return (
+            ~np.isfinite(begin)
+            | (begin != np.trunc(begin))
+            | ~np.isfinite(end)
+            | (end != np.trunc(end))
+            | ~np.isfinite(duration)
+            | (duration != np.trunc(duration))
+            | (duration < 1)
+            | (duration != metered)
+            | (end < begin)
+            | (begin < 0)
+            | (end > HOURS_PER_DAY)
+            | (end - begin < duration)
+        )
+
+
 @dataclass(frozen=True)
 class QuarantineDecision:
     """One screened report: what came in, what was decided, and why."""
@@ -371,24 +404,7 @@ class Quarantine:
             if duration.shape[0] != n:
                 raise ValueError("duration array is not aligned with the neighborhood")
 
-        # The union of validate_raw_report's failure conditions, vectorized.
-        # (NaN compares unequal to everything, so `x != trunc(x)` also
-        # catches it; ~isfinite keeps the intent explicit.)
-        with np.errstate(invalid="ignore"):
-            bad = (
-                ~np.isfinite(begin)
-                | (begin != np.trunc(begin))
-                | ~np.isfinite(end)
-                | (end != np.trunc(end))
-                | ~np.isfinite(duration)
-                | (duration != np.trunc(duration))
-                | (duration < 1)
-                | (duration != metered)
-                | (end < begin)
-                | (begin < 0)
-                | (end > HOURS_PER_DAY)
-                | (end - begin < duration)
-            )
+        bad = malformed_mask(begin, end, duration, metered)
         keep = ~bad
         out_begin = np.where(keep, begin, 0).astype(np.intp)
         out_end = np.where(keep, end, 0).astype(np.intp)

@@ -9,7 +9,7 @@ byte-identically.  See ``docs/robustness.md`` ("Service layer").
 """
 
 from .breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
-from .city import sample_shard, serve_city, shard_sizes
+from .city import sample_shard, serve_city, shard_sizes, stream_arrival_order
 from .queue import BoundedIngestQueue
 from .service import META_KEY, ServiceResult, ShardService, shard_key
 from .shard import (
@@ -19,21 +19,35 @@ from .shard import (
     settle_shard,
     settlement_digest,
 )
+from .stream import (
+    ColumnarReportBuilder,
+    ReportChunk,
+    ShardAssembler,
+    StreamIngestor,
+    StreamStats,
+    parse_canonical_ids,
+)
 from .supervisor import ShardCompletion, ShardSupervisor
 
 __all__ = [
     "BoundedIngestQueue",
     "CLOSED",
     "CircuitBreaker",
+    "ColumnarReportBuilder",
     "HALF_OPEN",
     "META_KEY",
     "OPEN",
+    "ReportChunk",
     "ServiceResult",
+    "ShardAssembler",
     "ShardCompletion",
     "ShardJob",
     "ShardService",
     "ShardSettlementRecord",
     "ShardSupervisor",
+    "StreamIngestor",
+    "StreamStats",
+    "parse_canonical_ids",
     "record_from_outcome",
     "sample_shard",
     "serve_city",
@@ -41,4 +55,5 @@ __all__ = [
     "settlement_digest",
     "shard_key",
     "shard_sizes",
+    "stream_arrival_order",
 ]

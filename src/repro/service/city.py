@@ -15,7 +15,8 @@ to exercise journal resume.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from collections import deque
+from typing import Any, List, Optional
 
 import numpy as np
 
@@ -27,6 +28,12 @@ from ..sim.parallel import DEFAULT_BACKOFF_S, DEFAULT_JITTER
 from ..sim.profiles import ProfileGenerator, ProfileGeneratorConfig
 from ..sim.rng import make_day_rngs, root_entropy, spawn_seed
 from .service import ServiceResult, ShardService
+from .stream import ReportChunk
+
+#: Spawn-key tag of the per-shard report *arrival order* substream —
+#: distinct from the shard's sampling substream (``spawn_key=(index,)``)
+#: so shuffling arrivals can never perturb the sampled population.
+_STREAM_ORDER_TAG = 0x53545245414D
 
 
 def shard_sizes(n: int, shards: int) -> list:
@@ -62,6 +69,96 @@ def sample_shard(
     return profiles.to_neighborhood("wide"), spawn_seed(py_rng)
 
 
+def stream_arrival_order(root: int, index: int, size: int) -> np.ndarray:
+    """Shard ``index``'s deterministic streamed-arrival permutation.
+
+    A pure function of ``(root, index)`` on its own keyed substream, so
+    the stream scenario is reproducible yet genuinely out-of-order with
+    respect to row order.
+    """
+    seq = np.random.SeedSequence(root, spawn_key=(index, _STREAM_ORDER_TAG))
+    return np.random.default_rng(seq).permutation(size)
+
+
+def _serve_city_stream(
+    service: ShardService,
+    root: int,
+    sizes: List[int],
+    generator: ProfileGenerator,
+    journal: Optional[CheckpointStore],
+    chaos: Optional[Any],
+    chunk_rows: int,
+) -> ServiceResult:
+    """Feed the city to the service as an interleaved report stream.
+
+    Every open shard is registered up front (journal-replayed shards are
+    skipped without sampling), then report chunks are dealt round-robin
+    across shards in each shard's shuffled arrival order — the most
+    adversarial interleaving the router must reassemble exactly.  Chaos
+    flood corruption is applied *per chunk* via
+    ``corrupt_stream_rows``, which draws the same seed-keyed corruption
+    shapes as the batch path's whole-shard corruption.
+    """
+    if chunk_rows < 1:
+        raise ValueError(f"stream chunk must be >= 1, got {chunk_rows}")
+    streams = []
+    for index, size in enumerate(sizes):
+        if journal is not None and service.journal_has(index):
+            service.register_stream_shard(index, None)
+            continue
+        neighborhood, shard_seed = sample_shard(root, index, size, generator)
+        service.register_stream_shard(
+            index, neighborhood, seed=shard_seed, assume_canonical_ids=True
+        )
+        begin, end, duration = neighborhood.truthful_wire()
+        streams.append((
+            index,
+            np.asarray(neighborhood.ids),
+            begin,
+            end,
+            duration,
+            stream_arrival_order(root, index, size),
+        ))
+    cursors = [0] * len(streams)
+    live = deque(range(len(streams)))
+    while live:
+        k = live.popleft()
+        index, ids, begin, end, duration, order = streams[k]
+        at = cursors[k]
+        rows = order[at : at + chunk_rows]
+        cursors[k] = at + rows.shape[0]
+        if cursors[k] < order.shape[0]:
+            live.append(k)
+        chunk_begin = begin[rows]
+        chunk_end = end[rows]
+        chunk_duration = duration[rows]
+        if chaos is not None:
+            chunk_begin, chunk_end, chunk_duration = chaos.corrupt_stream_rows(
+                index, order.shape[0], rows, chunk_begin, chunk_end, chunk_duration
+            )
+        chunk = ReportChunk(
+            ids=ids[rows],
+            begin=chunk_begin,
+            end=chunk_end,
+            duration=chunk_duration,
+        )
+        while True:
+            try:
+                service.submit_reports(chunk)
+                break
+            except ServiceOverloadError:
+                # Same discipline as the batch path: drain, don't sleep.
+                service.pump(block=True)
+    incomplete = service.finish_streams()
+    if incomplete:
+        # The generator above sends every row exactly once, so this can
+        # only mean rows were rejected/lost — fail loudly, not partially.
+        raise RuntimeError(
+            f"streamed city left shards incomplete: {incomplete}"
+        )
+    return service.drain()
+
+
 def serve_city(
     n: int,
     shards: int,
@@ -79,8 +176,15 @@ def serve_city(
     journal: Optional[CheckpointStore] = None,
     audit: Optional[AuditLog] = None,
     chaos: Optional[Any] = None,
+    stream: bool = False,
+    stream_chunk: int = 4096,
 ) -> ServiceResult:
     """Settle a city of ``n`` households as ``shards`` supervised shards.
+
+    With ``stream=True`` the city arrives as an interleaved, out-of-order
+    report stream in ``stream_chunk``-row chunks (see
+    :func:`_serve_city_stream`) instead of whole-shard arrays — the
+    settlement is digest-identical either way.
 
     Raises:
         ServiceInterrupted: The chaos supervisor-kill fuse fired; the
@@ -106,15 +210,17 @@ def serve_city(
         audit=audit,
         chaos=chaos,
     ) as service:
+        if stream:
+            return _serve_city_stream(
+                service, root, sizes, generator, journal, chaos, stream_chunk
+            )
         for index, size in enumerate(sizes):
             if journal is not None and service.journal_has(index):
                 # Resume fast path: replay without sampling or packing.
                 service.submit_shard(index, None)  # type: ignore[arg-type]
                 continue
             neighborhood, shard_seed = sample_shard(root, index, size, generator)
-            begin = neighborhood.true_start.astype(float)
-            end = neighborhood.true_end.astype(float)
-            duration = neighborhood.duration.astype(float)
+            begin, end, duration = neighborhood.truthful_wire()
             if chaos is not None:
                 begin, end, duration = chaos.corrupt_shard_reports(
                     index, begin, end, duration

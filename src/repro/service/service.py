@@ -32,7 +32,7 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -55,6 +55,7 @@ from .shard import (
     record_from_outcome,
     settle_shard,
 )
+from .stream import RawReport, ReportChunk, StreamIngestor, StreamStats
 from .supervisor import ShardCompletion, ShardSupervisor
 
 #: Journal key of the run-identity guard record.
@@ -168,6 +169,7 @@ class ShardService:
         self._submitted = 0
         self._started_at = time.perf_counter()
         self._degraded_mechanism: Optional[EnkiMechanism] = None
+        self._stream: Optional[StreamIngestor] = None
         if journal is not None and journal_meta is not None:
             self._pin_meta(journal, dict(journal_meta))
 
@@ -273,6 +275,133 @@ class ShardService:
         self._jobs[index] = job
         self._submitted += 1
         return False
+
+    # ------------------------------------------------- streamed ingestion
+
+    def _stream_ingestor(self) -> StreamIngestor:
+        if self._stream is None:
+            self._stream = StreamIngestor(
+                queue=self._queue,
+                enqueue=self._enqueue_stream_job,
+                on_event=self._log,
+                clock=self._clock,
+            )
+        return self._stream
+
+    def _enqueue_stream_job(self, index: int, job: ShardJob) -> None:
+        """Hand a completed streamed shard to the queue (may push back)."""
+        try:
+            self._queue.submit(job)
+        except Exception:
+            self._log("service_overload", index, {
+                "depth": self._queue.depth,
+                "capacity": self._queue.capacity,
+                "stream": True,
+            })
+            raise
+        self._jobs[index] = job
+        self._submitted += 1
+
+    @property
+    def stream_stats(self) -> Optional[StreamStats]:
+        """Counters of the streaming ingestor (``None`` if never streamed)."""
+        return self._stream.stats if self._stream is not None else None
+
+    def register_stream_shard(
+        self,
+        index: int,
+        neighborhood: Optional[ColumnarNeighborhood],
+        seed: int = 0,
+        assume_canonical_ids: bool = False,
+    ) -> bool:
+        """Open shard ``index`` for report-stream ingestion.
+
+        Packs the shard's day segment (with embedded report columns) up
+        front so streamed rows scatter straight into shared memory, and
+        registers the shard's id space with the router.  The shard is
+        *not* counted as submitted until its last report arrives and the
+        sealed job enters the queue — an incomplete stream never blocks
+        :meth:`drain`.
+
+        ``assume_canonical_ids`` lets a caller that *generated* the ids
+        (the city driver) vouch for the canonical ``s<index>-hh<row>``
+        scheme and skip the verifying parse; leave it off for ids of
+        unknown provenance.
+
+        Returns ``True`` when the shard was replayed from the journal
+        (rows streamed for it will be dropped as already-settled),
+        ``False`` when it is open for ingestion.  A replayed shard may be
+        registered with ``neighborhood=None`` to skip sampling entirely.
+        """
+        if index in self._records or index in self._jobs:
+            raise ValueError(f"shard {index} already submitted")
+        ingestor = self._stream_ingestor()
+        if self.journal is not None:
+            payload = self.journal.completed().get(shard_key(index))
+            if payload is not None:
+                record = ShardSettlementRecord.from_payload(payload)
+                self._records[index] = record
+                self._replayed.append(index)
+                self._submitted += 1
+                ingestor.register_replayed(
+                    index,
+                    None if neighborhood is None else neighborhood.ids,
+                )
+                return True
+        if neighborhood is None:
+            raise ValueError(
+                f"shard {index} is not in the journal; a neighborhood is "
+                "required to open it for streaming"
+            )
+        job = ShardJob(
+            index=index,
+            day=self._arena.pack_day(neighborhood, report_columns=True),
+            seed=seed,
+        )
+        ingestor.register(
+            index, job, neighborhood.ids, assume_canonical_ids=assume_canonical_ids
+        )
+        return False
+
+    def submit_reports(
+        self, reports: Union[RawReport, ReportChunk, Iterable[RawReport]]
+    ) -> int:
+        """Ingest streamed reports (one, an iterable, or a columnar chunk).
+
+        Reports coalesce in the ingestor's columnar micro-batch buffer
+        and are routed to their registered shards on flush; a shard whose
+        last row arrives is sealed and queued exactly as a batch
+        :meth:`submit_shard` would have queued it.  Returns how many
+        reports were ingested.
+
+        Raises:
+            ServiceOverloadError: Backpressure (queue depth plus sealed
+                shards awaiting a slot) — **nothing** from this call was
+                ingested; pump the service and resubmit the same payload.
+        """
+        return self._stream_ingestor().submit(reports)
+
+    def flush_reports(self) -> None:
+        """Force the ingestor's buffered micro-batch out (e.g. on idle)."""
+        if self._stream is not None:
+            self._stream.flush()
+
+    def finish_streams(self) -> Tuple[int, ...]:
+        """Close streamed ingestion: flush, queue every sealed shard.
+
+        Pumps the service as needed until no sealed shard is stuck behind
+        backpressure.  Returns the indices of registered shards still
+        missing rows — those stay unsettled (their segments are released
+        with the service); an empty tuple means every streamed shard made
+        it into the settlement pipeline.
+        """
+        if self._stream is None:
+            return ()
+        self._stream.flush(reason="final")
+        while self._stream.ready_backlog:
+            self.pump(block=True)
+            self._stream.drain_ready()
+        return self._stream.incomplete()
 
     # ------------------------------------------------------- settlement
 
@@ -385,11 +514,12 @@ class ShardService:
         """Settle a sick shard inline on the degraded chain — never drop it."""
         started_at = time.perf_counter()
         mechanism = self._degraded_chain()
+        begin, end, duration = job.wire_arrays()
         outcome = mechanism.run_day_columnar_raw(
             job.day.neighborhood(),
-            job.begin,
-            job.end,
-            job.duration,
+            begin,
+            end,
+            duration,
             rng=random.Random(job.seed),
         )
         record = record_from_outcome(

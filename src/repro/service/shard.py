@@ -33,17 +33,30 @@ class ShardJob:
     malformed (that is the quarantine's problem, not the transport's).
     The neighborhood itself travels by :class:`SharedColumnarDay`
     descriptor; only these three small vectors are pickled per task.
+
+    Streamed shards leave all three as ``None``: their reports were
+    scattered into the day segment's embedded ``rep_*`` columns by the
+    ingestor, and :meth:`wire_arrays` reads them back as zero-copy views
+    — the whole job then pickles to a few hundred bytes regardless of
+    shard size.
     """
 
     index: int
     day: SharedColumnarDay
     seed: int
-    begin: np.ndarray
-    end: np.ndarray
-    duration: np.ndarray
+    begin: Optional[np.ndarray] = None
+    end: Optional[np.ndarray] = None
+    duration: Optional[np.ndarray] = None
 
     def __len__(self) -> int:
         return len(self.day)
+
+    def wire_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The raw report arrays, pickled or embedded in the day segment."""
+        if self.begin is not None:
+            assert self.end is not None and self.duration is not None
+            return self.begin, self.end, self.duration
+        return self.day.report_views()
 
 
 @dataclass(frozen=True)
@@ -192,11 +205,12 @@ def settle_shard(
     if injector is not None:
         injector.before_shard(job.index)
     neighborhood = job.day.neighborhood()
+    begin, end, duration = job.wire_arrays()
     outcome = mechanism.run_day_columnar_raw(
         neighborhood,
-        job.begin,
-        job.end,
-        job.duration,
+        begin,
+        end,
+        duration,
         rng=random.Random(job.seed),
     )
     return record_from_outcome(

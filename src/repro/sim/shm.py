@@ -141,11 +141,21 @@ class SharedArena:
         self._names.append(segment.name)
         return segment
 
-    def pack_day(self, neighborhood: ColumnarNeighborhood) -> "SharedColumnarDay":
+    def pack_day(
+        self, neighborhood: ColumnarNeighborhood, report_columns: bool = False
+    ) -> "SharedColumnarDay":
         """Copy a columnar neighborhood into one segment, once.
 
         Returns the descriptor workers use to reconstruct zero-copy views;
         the copy here is the only one the day's transport ever makes.
+
+        With ``report_columns=True`` the segment also carries three
+        NaN-filled float64 wire columns (``rep_begin`` / ``rep_end`` /
+        ``rep_duration``) the streaming ingestor scatters reports into as
+        they arrive — the settled shard then travels with its reports
+        embedded, no per-task pickled arrays at all.  NaN is the sentinel
+        for "never filled": an unfilled row that slips through lands in
+        quarantine as a nan-bound report instead of settling silently.
         """
         encoding, ids_arr = _encode_ids(neighborhood.ids)
         arrays = [
@@ -156,6 +166,13 @@ class SharedArena:
             ("rating", neighborhood.rating),
             ("valuation", neighborhood.valuation),
         ]
+        if report_columns:
+            empty = np.full(len(neighborhood), np.nan, dtype=np.float64)
+            arrays += [
+                ("rep_begin", empty),
+                ("rep_end", empty),
+                ("rep_duration", empty),
+            ]
         specs = []
         offset = 0
         for key, arr in arrays:
@@ -173,6 +190,7 @@ class SharedArena:
             n=len(neighborhood),
             specs=tuple(specs),
             ids_encoding=encoding,
+            has_reports=report_columns,
         )
 
     def share_floats(self, count: int, fill: float) -> str:
@@ -296,6 +314,9 @@ class SharedColumnarDay:
     n: int
     specs: Tuple[Tuple[str, str, int, int], ...]
     ids_encoding: str
+    #: Whether the segment carries the three streamed report columns
+    #: (``rep_begin`` / ``rep_end`` / ``rep_duration``).
+    has_reports: bool = False
 
     def __len__(self) -> int:
         return self.n
@@ -317,6 +338,47 @@ class SharedColumnarDay:
         while len(_DAY_VIEWS) > _CACHE_LIMIT:
             _DAY_VIEWS.popitem(last=False)
         return views
+
+    def column(self, field: str) -> np.ndarray:
+        """A read-only zero-copy view of one packed column by name."""
+        views = self._entry()
+        if field not in views:
+            raise KeyError(f"day segment has no column {field!r}")
+        return views[field]
+
+    def report_views(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Read-only views of the embedded report wire columns.
+
+        The worker-side accessor for streamed shards: the reports settle
+        straight out of the shared segment, with no per-task arrays.
+        """
+        if not self.has_reports:
+            raise ValueError("day was packed without report columns")
+        views = self._entry()
+        return views["rep_begin"], views["rep_end"], views["rep_duration"]
+
+    def writable_report_views(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Writable views of the report columns, for the stream ingestor.
+
+        Fresh (uncached) ndarrays over the same shared buffer: the owner
+        scatters micro-batches into them while assembling the shard, then
+        stops writing before the job is handed to the supervisor.
+        """
+        if not self.has_reports:
+            raise ValueError("day was packed without report columns")
+        segment = _attach(self.segment)
+        out = []
+        for key, dtype, length, offset in self.specs:
+            if key in ("rep_begin", "rep_end", "rep_duration"):
+                out.append(
+                    np.ndarray(
+                        (length,),
+                        dtype=np.dtype(dtype),
+                        buffer=segment.buf,
+                        offset=offset,
+                    )
+                )
+        return tuple(out)  # type: ignore[return-value]
 
     def ids(self) -> Tuple[str, ...]:
         """The full id tuple (decoded once per process per segment)."""

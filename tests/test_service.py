@@ -85,6 +85,55 @@ class TestBoundedIngestQueue:
             queue.submit(item)
         assert [queue.pop(), queue.pop(), queue.pop()] == ["a", "b", "c"]
 
+    def test_retry_hint_tracks_observed_drain_rate(self):
+        # Once the queue has seen pops, the hint is rate-based: a service
+        # draining a shard every 50ms asks a blocked client to wait
+        # backlog x 50ms, not backlog x the static fallback.
+        clock = _FakeClock()
+        queue = BoundedIngestQueue(
+            capacity=8, low_watermark=2, retry_after_s=0.1, clock=clock
+        )
+        for item in range(8):
+            queue.submit(item)
+        assert queue.drain_interval_s is None  # cold: no rate yet
+        for _ in range(4):
+            queue.pop()
+            clock.now += 0.05
+        assert queue.drain_interval_s == pytest.approx(0.05)
+        for item in range(4):
+            queue.submit(item)
+        with pytest.raises(ServiceOverloadError) as excinfo:
+            queue.submit(99)
+        assert excinfo.value.retry_after_s == pytest.approx(0.05 * 6)
+
+    def test_drain_estimator_is_an_ewma(self):
+        from repro.service.queue import DRAIN_EWMA_ALPHA
+
+        clock = _FakeClock()
+        queue = BoundedIngestQueue(capacity=8, clock=clock)
+        for item in range(3):
+            queue.submit(item)
+        queue.pop()           # arms the estimator (no interval yet)
+        clock.now += 0.1
+        queue.pop()           # first interval seeds the average
+        assert queue.drain_interval_s == pytest.approx(0.1)
+        clock.now += 0.2
+        queue.pop()           # newest interval enters at the EWMA weight
+        expected = 0.1 + DRAIN_EWMA_ALPHA * (0.2 - 0.1)
+        assert queue.drain_interval_s == pytest.approx(expected)
+
+    def test_instant_drains_keep_a_positive_hint(self):
+        from repro.service.queue import MIN_RETRY_AFTER_S
+
+        clock = _FakeClock()
+        queue = BoundedIngestQueue(capacity=4, clock=clock)
+        for item in range(3):
+            queue.submit(item)
+        for _ in range(3):
+            queue.pop()       # zero-interval pops: rate is "infinite"
+        assert queue.drain_interval_s == 0.0
+        assert queue.retry_hint(100) == MIN_RETRY_AFTER_S
+
     def test_bad_knobs_rejected(self):
         with pytest.raises(ValueError):
             BoundedIngestQueue(capacity=0)
@@ -587,3 +636,68 @@ class TestServiceChaosAcceptance:
         # Byte-identical settlement (allocation, consumption, payments):
         # interrupted + resumed == uninterrupted, shard for shard.
         assert self._digests(resumed) == self._digests(reference)
+
+
+class TestStreamedFlood:
+    """Chaos flood corruption applied mid-stream, chunk by chunk.
+
+    The flood shard's corrupted rows must land in the quarantine (counted,
+    repaired-or-excluded, never silently settled), the settlement record
+    must carry its served tier, the audit trail must show the streamed
+    shard completing with its suspect count — and the whole streamed chaos
+    run must be digest-identical to the batch run whose corruption was
+    applied in one whole-shard pass.
+    """
+
+    def _injector(self, tmp_path, tag):
+        return ChaosInjector(
+            plan=ChaosPlan(root=SEED),
+            fault_dir=str(tmp_path / f"faults-{tag}"),
+            service_plan=ServiceChaosPlan(
+                root=SEED, flood_shards=frozenset({1})
+            ),
+        )
+
+    def _run(self, tmp_path, tag, audit, stream):
+        # "exclude" keeps the quarantine's rejections visible in
+        # n_quarantined (clamp would repair them invisibly).
+        return serve_city(
+            n=90, shards=3, workers=1, seed=SEED,
+            mechanism=serving_mechanism(seed=SEED, quarantine_policy="exclude"),
+            audit=audit, chaos=self._injector(tmp_path, tag),
+            stream=stream, stream_chunk=11,
+        )
+
+    def test_mid_stream_corruption_lands_in_quarantine(self, tmp_path):
+        from repro.io.audit import AuditLog
+
+        audit_path = str(tmp_path / "stream-audit.jsonl")
+        streamed = self._run(
+            tmp_path, "stream", AuditLog(audit_path), stream=True
+        )
+        assert streamed.settled == 3
+
+        flood = streamed.records[1]
+        assert flood.n_quarantined > 0  # corrupted rows were caught...
+        assert flood.n_settled + flood.n_quarantined == flood.n_input
+        assert flood.served_tier == 0   # ...on the primary tier, intact
+        assert flood.budget_balanced
+        clean = streamed.records[0]
+        assert clean.n_quarantined == 0  # corruption never leaks shards
+
+        log = AuditLog(audit_path)
+        completions = {
+            event.day: event.payload
+            for event in log.events("stream_shard_complete")
+        }
+        assert set(completions) == {0, 1, 2}
+        assert completions[1]["suspect_rows"] > 0  # flagged at flush time
+        assert completions[0]["suspect_rows"] == 0
+        settled_days = [event.day for event in log.events("shard_settled")]
+        assert sorted(settled_days) == [0, 1, 2]
+
+        # Same fault plan, whole-shard corruption: identical settlement.
+        batch = self._run(tmp_path, "batch", None, stream=False)
+        assert {i: r.digest for i, r in streamed.records.items()} == {
+            i: r.digest for i, r in batch.records.items()
+        }
