@@ -68,10 +68,21 @@ def bench_json():
     with machine metadata.  Pass ``section="robustness"`` to file an entry
     under a different top-level section than ``"benchmarks"`` (used for
     the quarantine/fallback overhead trajectory).
+
+    Every timed entry automatically carries ``kernel_backend`` and
+    ``cpu_cores_visible`` (recorders may override them) so each row is
+    interpretable on its own — a timing without the backend and core
+    count that produced it is not a trajectory point.  The ``"gates"``
+    section is exempt; gate rows record bound/reason only.
     """
     entries = {}
 
     def _record(name: str, section: str = "benchmarks", **fields) -> None:
+        if section != "gates":
+            from repro.kernels import active_backend
+
+            fields.setdefault("kernel_backend", active_backend())
+            fields.setdefault("cpu_cores_visible", _cpu_cores())
         entries.setdefault(section, {})[name] = fields
 
     yield _record

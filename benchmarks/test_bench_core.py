@@ -160,12 +160,13 @@ def test_bench_greedy_kernel_n100k(bench_json, gate_note):
             best_python = min(best_python, time.perf_counter() - started)
 
     if not numba_available():
+        # No-numba runners record the python time only: ``numba_seconds``
+        # / ``speedup`` are *omitted*, never null, so downstream summaries
+        # don't render "speedup: null" for a measurement that never ran.
         bench_json(
             "greedy_kernel_n100k",
             n_households=n,
             python_seconds=best_python,
-            numba_seconds=None,
-            speedup=None,
         )
         message = (
             "numba is not importable on this runner; recorded the python "

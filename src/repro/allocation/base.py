@@ -144,6 +144,12 @@ class AllocationResult:
     solver's hot loop (``"numba"`` or ``"python"``; empty for allocators
     that have no kernelized loop).  Diagnostic only — both builds are
     bit-identical — but essential provenance for benchmark entries.
+
+    ``cache_hit`` is provenance from
+    :class:`repro.allocation.cache.AllocationCache`: ``True`` when this
+    result was replayed from the memoization store instead of solved.
+    The payload of a hit is byte-identical to the stored solve; only
+    ``wall_time_s`` (the lookup time) and this flag differ.
     """
 
     allocation: AllocationMap
@@ -157,6 +163,7 @@ class AllocationResult:
     fallback_trail: Tuple = ()
     root_bound_matched: bool = False
     kernel_backend: str = ""
+    cache_hit: bool = False
 
 
 @dataclass
@@ -180,6 +187,7 @@ class ColumnarAllocationResult:
     fallback_trail: Tuple = ()
     root_bound_matched: bool = False
     kernel_backend: str = ""
+    cache_hit: bool = False
 
     def to_result(self, compiled: "CompiledProblem") -> AllocationResult:
         """Materialize the dict-of-intervals :class:`AllocationResult`."""
@@ -201,6 +209,7 @@ class ColumnarAllocationResult:
             fallback_trail=self.fallback_trail,
             root_bound_matched=self.root_bound_matched,
             kernel_backend=self.kernel_backend,
+            cache_hit=self.cache_hit,
         )
 
 
@@ -282,7 +291,31 @@ class Allocator(abc.ABC):
             fallback_trail=result.fallback_trail,
             root_bound_matched=result.root_bound_matched,
             kernel_backend=result.kernel_backend,
+            cache_hit=result.cache_hit,
         )
+
+    def cache_token(self) -> Optional[str]:
+        """Identity string for allocation memoization, or ``None``.
+
+        A non-``None`` token asserts that a solve is a pure function of
+        ``(compiled problem, initial rng state)`` — same inputs, byte-
+        identical result — and must encode every constructor parameter
+        that changes the answer (e.g. the greedy processing order).
+        ``None`` (the default) marks the allocator uncacheable, so
+        :class:`repro.allocation.cache.AllocationCache` passes its solves
+        straight through.
+        """
+        return None
+
+    def result_cacheable(self, result) -> bool:
+        """Whether one concrete ``result`` may enter the memoization store.
+
+        Allocators with anytime behaviour (wall-clock time limits)
+        override this to admit only results that are pure functions of
+        the inputs — e.g. the exact solver stores proven-optimal answers
+        and refuses deadline-truncated incumbents.
+        """
+        return True
 
     def _finish(
         self,

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import random
 import time
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -34,7 +34,7 @@ from ..core.flexibility import flexibility_vector
 from ..core.intervals import HOURS_PER_DAY, Interval
 from ..core.types import AllocationMap, HouseholdId
 from ..kernels import active_backend
-from ..kernels.placement import PlacementScratch, place_day
+from ..kernels.placement import PlacementScratch, place_batch, place_day
 from ..pricing.base import PricingModel
 from ..pricing.load_profile import LoadProfile
 from ..pricing.quadratic import QuadraticPricing
@@ -83,6 +83,15 @@ class GreedyFlexibilityAllocator(Allocator):
     def __init__(self, ascending: bool = True, seed: Optional[int] = None) -> None:
         self.ascending = ascending
         self._seed = seed
+
+    def cache_token(self) -> str:
+        """Greedy solves are pure in (problem, rng): memoizable.
+
+        The token pins the processing order and the fallback tie-break
+        seed (consulted only when a solve is not handed an rng) — the two
+        constructor knobs that change the answer.
+        """
+        return f"enki-greedy:asc={self.ascending}:seed={self._seed}"
 
     def solve(
         self, problem: AllocationProblem, rng: Optional[random.Random] = None
@@ -182,6 +191,106 @@ class GreedyFlexibilityAllocator(Allocator):
             allocator_name=self.name,
             kernel_backend=backend,
         )
+
+    def solve_columnar_batch(
+        self,
+        compiled_days: Sequence[CompiledProblem],
+        pricing: PricingModel,
+        rngs: Sequence[Optional[random.Random]],
+    ) -> List[ColumnarAllocationResult]:
+        """Fused greedy over a batch of days: one kernel call for all D.
+
+        Per-day work that is inherently day-local stays per-day and in
+        day order — flexibility scores (coverage is a day-local
+        reduction) and tie keys (each day's rng draws exactly the
+        sequence :meth:`solve_columnar` would) — then one global stable
+        ``np.lexsort`` with the day index as the most-significant key
+        reproduces every day's within-day processing order, and
+        :func:`repro.kernels.placement.place_batch` runs all D
+        ordered-placement sweeps in a single kernel invocation.  Results
+        are bit-identical to D separate :meth:`solve_columnar` calls
+        (pinned by ``tests/test_batch_equivalence.py``); each day's
+        ``wall_time_s`` is the batch total apportioned evenly, which is
+        why equivalence checks exclude that field.
+        """
+        started_at = time.perf_counter()
+        n_days = len(compiled_days)
+        if len(rngs) != n_days:
+            raise ValueError(
+                f"got {len(rngs)} rngs for {n_days} days; need one per day"
+            )
+        lengths = np.array([len(c) for c in compiled_days], dtype=np.intp)
+        offsets = np.zeros(n_days + 1, dtype=np.intp)
+        np.cumsum(lengths, out=offsets[1:])
+        total = int(offsets[-1])
+        starts_out = np.zeros(total, dtype=np.intp)
+
+        flex_parts: List[np.ndarray] = []
+        key_parts: List[np.ndarray] = []
+        for compiled, rng in zip(compiled_days, rngs):
+            n = len(compiled)
+            if n == 0:
+                # Mirror solve_columnar's empty-day early return: no
+                # flexibility pass (it rejects empty coverage) and zero
+                # rng draws.
+                continue
+            rng = rng if rng is not None else random.Random(self._seed)
+            flex_parts.append(
+                flexibility_vector(
+                    compiled.win_start, compiled.win_end, compiled.duration
+                )
+            )
+            key_parts.append(
+                np.fromiter((rng.random() for _ in range(n)), dtype=float, count=n)
+            )
+        if total:
+            flex = np.concatenate(flex_parts)
+            keys = np.concatenate(key_parts)
+            day_idx = np.repeat(np.arange(n_days, dtype=np.intp), lengths)
+            # Day most-significant, then the per-day (flexibility, tie-key)
+            # pair: lexsort is stable, so rows of day k land in exactly the
+            # order the per-day lexsort would produce.
+            order = np.lexsort((keys, flex if self.ascending else -flex, day_idx))
+            win_start = np.concatenate([c.win_start for c in compiled_days])
+            win_end = np.concatenate([c.win_end for c in compiled_days])
+            duration = np.concatenate([c.duration for c in compiled_days])
+            rating = np.concatenate([c.rating for c in compiled_days])
+            backend = place_batch(
+                offsets,
+                order,
+                win_start,
+                win_end,
+                duration,
+                rating,
+                pricing,
+                starts_out,
+                PlacementScratch(),
+            )
+        else:
+            backend = active_backend()
+
+        elapsed = time.perf_counter() - started_at
+        per_day_s = elapsed / n_days if n_days else elapsed
+        results: List[ColumnarAllocationResult] = []
+        for k, compiled in enumerate(compiled_days):
+            day_starts = starts_out[offsets[k]:offsets[k + 1]].copy()
+            if len(compiled) == 0:
+                cost = pricing.cost(LoadProfile())
+            else:
+                profile = LoadProfile.from_arrays(
+                    day_starts, day_starts + compiled.duration, compiled.rating
+                )
+                cost = pricing.cost(profile)
+            results.append(
+                ColumnarAllocationResult(
+                    starts=day_starts,
+                    cost=cost,
+                    wall_time_s=per_day_s,
+                    allocator_name=self.name,
+                    kernel_backend=backend,
+                )
+            )
+        return results
 
     @staticmethod
     def _best_start(

@@ -146,6 +146,25 @@ class BranchAndBoundAllocator(Allocator):
         self._seed = seed
         self.workers = workers
 
+    def cache_token(self) -> str:
+        """Exact solves are memoizable — for the results this admits.
+
+        The token pins every constructor knob that can steer a stored
+        answer (search budgets, warm start, gap, seed fallback, worker
+        split); :meth:`result_cacheable` then narrows storage to
+        proven-optimal results, because a deadline-truncated incumbent is
+        a function of the wall clock, not of the instance.
+        """
+        return (
+            f"optimal-bnb:tl={self.time_limit_s}:nl={self.node_limit}"
+            f":ws={self.warm_start}:gap={self.gap}:seed={self._seed}"
+            f":w={self.workers}"
+        )
+
+    def result_cacheable(self, result) -> bool:
+        """Only proven-optimal answers enter the memoization store."""
+        return bool(result.proven_optimal)
+
     def solve(
         self, problem: AllocationProblem, rng: Optional[random.Random] = None
     ) -> AllocationResult:

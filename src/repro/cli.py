@@ -156,6 +156,30 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--batch-days",
+        type=int,
+        default=None,
+        help=(
+            "columnar-only: fuse up to this many consecutive days per "
+            "worker task into batched array passes "
+            "(fig4/fig5/fig6/simulate); results are bit-identical to the "
+            "per-day path"
+        ),
+    )
+    parser.add_argument(
+        "--alloc-cache",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="DIR",
+        help=(
+            "memoize allocations under a digest of the compiled problem "
+            "(fig4/fig5/fig6 with --columnar, fig7); with no value the "
+            "cache lives in memory, with DIR results also persist on disk "
+            "for cross-run reuse; replays are byte-identical"
+        ),
+    )
+    parser.add_argument(
         "--kernels",
         choices=("auto", "numba", "python"),
         default=None,
@@ -199,6 +223,15 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _alloc_cache_for(args: argparse.Namespace):
+    """Build the ``--alloc-cache`` store (``""`` = memory-only)."""
+    if args.alloc_cache is None:
+        return None
+    from .allocation.cache import AllocationCache
+
+    return AllocationCache(directory=args.alloc_cache or None)
+
+
 def _overrides_for(experiment_id: str, args: argparse.Namespace) -> dict:
     overrides: dict = {}
     if args.seed is not None:
@@ -223,8 +256,17 @@ def _overrides_for(experiment_id: str, args: argparse.Namespace) -> dict:
             overrides["columnar"] = True
         if args.bnb_workers is not None:
             overrides["bnb_workers"] = args.bnb_workers
-    if experiment_id == "fig7" and args.repeats is not None:
-        overrides["repeats"] = args.repeats
+        if args.batch_days is not None and args.columnar:
+            overrides["batch_days"] = args.batch_days
+        cache = _alloc_cache_for(args)
+        if cache is not None and args.columnar:
+            overrides["alloc_cache"] = cache
+    if experiment_id == "fig7":
+        if args.repeats is not None:
+            overrides["repeats"] = args.repeats
+        cache = _alloc_cache_for(args)
+        if cache is not None:
+            overrides["alloc_cache"] = cache
     if experiment_id in {"abl-order", "abl-pricing"} and args.days is not None:
         overrides["days"] = args.days
     return overrides
@@ -276,6 +318,7 @@ def _simulate(args: argparse.Namespace) -> int:
         seed=seed,
         workers=args.workers if args.workers is not None else 1,
         checkpoint=checkpoint,
+        batch_days=args.batch_days if args.batch_days is not None else 1,
     )
 
     audit = AuditLog(args.audit) if args.audit else None
@@ -444,6 +487,22 @@ def _dispatch(args: argparse.Namespace) -> int:
     """Route a parsed command line to its experiment or subcommand."""
     if args.resume and not args.checkpoint:
         print("--resume requires --checkpoint", file=sys.stderr)
+        return 2
+    if args.batch_days is not None and args.batch_days < 1:
+        print("--batch-days must be >= 1", file=sys.stderr)
+        return 2
+    if args.batch_days is not None and args.batch_days > 1 and not args.columnar:
+        print("--batch-days requires --columnar", file=sys.stderr)
+        return 2
+    if (
+        args.alloc_cache is not None
+        and args.experiment in _SWEEP_EXPERIMENTS
+        and not args.columnar
+    ):
+        print(
+            "--alloc-cache with fig4/fig5/fig6 requires --columnar",
+            file=sys.stderr,
+        )
         return 2
 
     if args.experiment == "list":

@@ -12,9 +12,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..allocation.cache import AllocationCache
     from ..robustness.quarantine import Quarantine
 
 import numpy as np
@@ -212,6 +213,12 @@ class EnkiMechanism:
             allocation (:class:`repro.robustness.quarantine.Quarantine`).
             Without one, reports are trusted as typed values — the
             pre-robustness behaviour.
+        alloc_cache: Optional
+            :class:`repro.allocation.cache.AllocationCache` every solve
+            routes through.  Hits replay byte-identical results with
+            ``cache_hit`` provenance; allocators without a
+            ``cache_token`` pass straight through, so enabling the cache
+            never changes an outcome.
     """
 
     def __init__(
@@ -222,6 +229,7 @@ class EnkiMechanism:
         xi: float = DEFAULT_XI,
         seed: Optional[int] = None,
         quarantine: Optional["Quarantine"] = None,
+        alloc_cache: Optional["AllocationCache"] = None,
     ) -> None:
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
@@ -233,6 +241,7 @@ class EnkiMechanism:
         self.xi = xi
         self._seed = seed
         self.quarantine = quarantine
+        self.alloc_cache = alloc_cache
 
     def screen_reports(
         self,
@@ -272,7 +281,10 @@ class EnkiMechanism:
             if screened is not None:
                 reports = screened.accepted
         problem = AllocationProblem.from_reports(reports, neighborhood.households, self.pricing)
-        result = self.allocator.solve(problem, rng)
+        if self.alloc_cache is not None:
+            result = self.alloc_cache.solve(self.allocator, problem, rng)
+        else:
+            result = self.allocator.solve(problem, rng)
         validate_allocation(dict(reports), result.allocation)
         return result
 
@@ -410,6 +422,89 @@ class EnkiMechanism:
             load_profile=profile,
         )
 
+    def settle_arrays_batch(
+        self,
+        ids: Sequence[Tuple[HouseholdId, ...]],
+        offsets: np.ndarray,
+        alloc_starts: np.ndarray,
+        alloc_ends: np.ndarray,
+        cons_starts: np.ndarray,
+        cons_ends: np.ndarray,
+        ratings: np.ndarray,
+        rep_starts: np.ndarray,
+        rep_ends: np.ndarray,
+        rep_durations: np.ndarray,
+        true_starts: np.ndarray,
+        true_ends: np.ndarray,
+        true_durations: np.ndarray,
+        factors: np.ndarray,
+    ) -> List[ColumnarSettlement]:
+        """Settle D stacked days: Eqs. 3-8 in a handful of array passes.
+
+        Inputs are day-major stacked rows with ``offsets`` boundaries
+        (``ids[k]`` names day ``k``'s rows).  The purely elementwise
+        pieces — the followed mask, ``tau``, valuations and overlap
+        fractions — run once over all rows; every *day-local* reduction
+        (the realized load profile and its cost, flexibility coverage,
+        the defection baseline, the Eq. 6/7 normalizations) loops over
+        per-day slices, preserving each day's float accumulation
+        sequence, so every returned :class:`ColumnarSettlement` is
+        bit-identical to a per-day :meth:`settle_arrays` call.
+        """
+        followed = (alloc_starts == cons_starts) & (alloc_ends == cons_ends)
+        tau = np.clip(
+            np.minimum(alloc_ends, true_ends) - np.maximum(alloc_starts, true_starts),
+            0,
+            None,
+        )
+        valuations_all = valuation_vector(tau, true_durations, factors)
+        overlaps_all = np.clip(
+            np.minimum(alloc_ends, cons_ends) - np.maximum(alloc_starts, cons_starts),
+            0,
+            None,
+        ) / (alloc_ends - alloc_starts)
+
+        settlements: List[ColumnarSettlement] = []
+        for k, day_ids in enumerate(ids):
+            rows = slice(int(offsets[k]), int(offsets[k + 1]))
+            profile = LoadProfile.from_arrays(
+                cons_starts[rows], cons_ends[rows], ratings[rows]
+            )
+            total_cost = self.pricing.cost(profile)
+            flexibility_arr = np.where(
+                followed[rows],
+                flexibility_vector(
+                    rep_starts[rows], rep_ends[rows], rep_durations[rows]
+                ),
+                0.0,
+            )
+            defection_arr = defection_vector(
+                alloc_starts[rows],
+                alloc_ends[rows],
+                cons_starts[rows],
+                cons_ends[rows],
+                ratings[rows],
+                self.pricing,
+            )
+            social_arr = social_cost_vector(flexibility_arr, defection_arr, self.k)
+            payments_arr = payments_vector(social_arr, total_cost, self.xi)
+            settlements.append(
+                ColumnarSettlement(
+                    ids=tuple(day_ids),
+                    total_cost=total_cost,
+                    flexibility=flexibility_arr,
+                    defection=defection_arr,
+                    social_cost=social_arr,
+                    payments=payments_arr,
+                    valuations=valuations_all[rows],
+                    utilities=valuations_all[rows] - payments_arr,
+                    overlap_fractions=overlaps_all[rows],
+                    neighborhood_utility=float(payments_arr.sum()) - total_cost,
+                    load_profile=profile,
+                )
+            )
+        return settlements
+
     def run_day(
         self,
         neighborhood: Neighborhood,
@@ -464,7 +559,12 @@ class EnkiMechanism:
         """
         rng = rng if rng is not None else random.Random(self._seed)
         compiled = reports.compile(neighborhood, self.pricing)
-        result = self.allocator.solve_columnar(compiled, self.pricing, rng)
+        if self.alloc_cache is not None:
+            result = self.alloc_cache.solve_columnar(
+                self.allocator, compiled, self.pricing, rng
+            )
+        else:
+            result = self.allocator.solve_columnar(compiled, self.pricing, rng)
         starts = result.starts
         bad = (starts < reports.start) | (starts + reports.duration > reports.end)
         if bool(np.any(bad)):
@@ -513,6 +613,127 @@ class EnkiMechanism:
         return self.finish_day_columnar(
             neighborhood, reports, result, kept=kept, decisions=decisions
         )
+
+    def run_days_columnar(
+        self,
+        neighborhood: ColumnarNeighborhood,
+        rngs: Sequence[Optional[random.Random]],
+        reports: Optional[ColumnarReports] = None,
+    ) -> List[ColumnarDayOutcome]:
+        """Run D days over one fixed neighborhood as a fused batch.
+
+        The batched twin of D :meth:`run_day_columnar` calls where only
+        the tie-break rng differs per day (the
+        :class:`repro.sim.engine.NeighborhoodSimulation` shape): the
+        screen and the problem compilation happen once, the greedy
+        placement sweep runs as one
+        :meth:`~repro.allocation.greedy.GreedyFlexibilityAllocator.
+        solve_columnar_batch` kernel call over all D days (per-day solves
+        through the configured ``alloc_cache``, or for allocators without
+        a batch kernel, replace the fused path), and settlement is one
+        :meth:`settle_arrays_batch`.  Outcomes are bit-identical to the
+        per-day loop, day by day.
+        """
+        if reports is None:
+            reports = ColumnarReports.truthful(neighborhood)
+        if reports.ids != neighborhood.ids:
+            raise ValueError("reports and neighborhood rows are not aligned")
+        decisions: Tuple = ()
+        kept = np.ones(len(neighborhood), dtype=bool)
+        if self.quarantine is not None:
+            # One screen serves all D days: every day sees the same rows,
+            # so the per-day loop would reproduce these exact decisions
+            # each day.
+            screened = self.quarantine.screen_columnar(
+                neighborhood,
+                reports.start.astype(float),
+                reports.end.astype(float),
+                reports.duration.astype(float),
+            )
+            reports = screened.accepted
+            kept = screened.kept
+            decisions = tuple(screened.decisions)
+            neighborhood = neighborhood.take(kept)
+        n_days = len(rngs)
+        compiled = reports.compile(neighborhood, self.pricing)
+        rngs = [
+            rng if rng is not None else random.Random(self._seed) for rng in rngs
+        ]
+        if self.alloc_cache is not None:
+            results = [
+                self.alloc_cache.solve_columnar(
+                    self.allocator, compiled, self.pricing, rng
+                )
+                for rng in rngs
+            ]
+        elif hasattr(self.allocator, "solve_columnar_batch"):
+            results = self.allocator.solve_columnar_batch(
+                [compiled] * n_days, self.pricing, rngs
+            )
+        else:
+            results = [
+                self.allocator.solve_columnar(compiled, self.pricing, rng)
+                for rng in rngs
+            ]
+
+        # Fused back half: validation, closest-feasible consumption and
+        # the elementwise settlement passes run once over the stacked
+        # D x n rows; day-local reductions stay per-day inside
+        # settle_arrays_batch.  Same formulas as finish_day_columnar, row
+        # for row.
+        n = len(neighborhood)
+        offsets = np.arange(n_days + 1, dtype=np.intp) * n
+        alloc_starts = (
+            np.concatenate([result.starts for result in results])
+            if results
+            else np.zeros(0, dtype=np.intp)
+        )
+        rep_start = np.tile(reports.start, n_days)
+        rep_end = np.tile(reports.end, n_days)
+        v = np.tile(neighborhood.duration, n_days)
+        bad = (alloc_starts < rep_start) | (alloc_starts + v > rep_end)
+        if bool(np.any(bad)):
+            i = int(np.argmax(bad))
+            raise IntervalError(
+                f"allocation [{int(alloc_starts[i])}, "
+                f"{int(alloc_starts[i] + v[i])}) for "
+                f"{reports.ids[i % n]!r} violates report window "
+                f"[{int(rep_start[i])}, {int(rep_end[i])})"
+            )
+        true_start = np.tile(neighborhood.true_start, n_days)
+        true_end = np.tile(neighborhood.true_end, n_days)
+        cons_starts = np.clip(alloc_starts, true_start, true_end - v)
+        overlap = v - np.abs(cons_starts - alloc_starts)
+        cons_starts = np.where(overlap > 0, cons_starts, true_start)
+
+        settlements = self.settle_arrays_batch(
+            ids=[neighborhood.ids] * n_days,
+            offsets=offsets,
+            alloc_starts=alloc_starts,
+            alloc_ends=alloc_starts + v,
+            cons_starts=cons_starts,
+            cons_ends=cons_starts + v,
+            ratings=np.tile(neighborhood.rating, n_days),
+            rep_starts=rep_start,
+            rep_ends=rep_end,
+            rep_durations=np.tile(reports.duration, n_days),
+            true_starts=true_start,
+            true_ends=true_end,
+            true_durations=v,
+            factors=np.tile(neighborhood.valuation, n_days),
+        )
+        return [
+            ColumnarDayOutcome(
+                neighborhood=neighborhood,
+                reports=reports,
+                allocation_result=result,
+                consumption_starts=cons_starts[offsets[k]:offsets[k + 1]],
+                settlement=settlement,
+                kept=kept,
+                quarantine_decisions=decisions,
+            )
+            for k, (result, settlement) in enumerate(zip(results, settlements))
+        ]
 
     def run_day_columnar_raw(
         self,

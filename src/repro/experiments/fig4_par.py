@@ -8,7 +8,7 @@ the 2-4 band across 10-50 households.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from ..sim.results import format_table
 from .social_welfare import (
@@ -19,6 +19,9 @@ from .social_welfare import (
     SocialWelfareResult,
     run_social_welfare_study,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..allocation.cache import AllocationCache
 
 
 @dataclass
@@ -86,6 +89,8 @@ def run(
     resume: bool = False,
     columnar: bool = False,
     bnb_workers: Optional[int] = 1,
+    batch_days: int = 1,
+    alloc_cache: Optional["AllocationCache"] = None,
 ) -> Fig4Result:
     """Regenerate Figure 4 from scratch."""
     return extract(
@@ -99,5 +104,7 @@ def run(
             resume=resume,
             columnar=columnar,
             bnb_workers=bnb_workers,
+            batch_days=batch_days,
+            alloc_cache=alloc_cache,
         )
     )

@@ -7,7 +7,7 @@ size, growing to roughly $1500 at 50 households with sigma = 0.3.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from ..sim.results import format_table
 from .social_welfare import (
@@ -18,6 +18,9 @@ from .social_welfare import (
     SocialWelfareResult,
     run_social_welfare_study,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..allocation.cache import AllocationCache
 
 
 @dataclass
@@ -86,6 +89,8 @@ def run(
     resume: bool = False,
     columnar: bool = False,
     bnb_workers: Optional[int] = 1,
+    batch_days: int = 1,
+    alloc_cache: Optional["AllocationCache"] = None,
 ) -> Fig5Result:
     """Regenerate Figure 5 from scratch."""
     return extract(
@@ -99,5 +104,7 @@ def run(
             resume=resume,
             columnar=columnar,
             bnb_workers=bnb_workers,
+            batch_days=batch_days,
+            alloc_cache=alloc_cache,
         )
     )

@@ -11,7 +11,7 @@ comparable quantity.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from ..sim.results import format_table
 from .social_welfare import (
@@ -22,6 +22,9 @@ from .social_welfare import (
     SocialWelfareResult,
     run_social_welfare_study,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..allocation.cache import AllocationCache
 
 
 @dataclass
@@ -87,6 +90,8 @@ def run(
     resume: bool = False,
     columnar: bool = False,
     bnb_workers: Optional[int] = 1,
+    batch_days: int = 1,
+    alloc_cache: Optional["AllocationCache"] = None,
 ) -> Fig6Result:
     """Regenerate Figure 6 from scratch.
 
@@ -107,5 +112,7 @@ def run(
             resume=resume,
             columnar=columnar,
             bnb_workers=bnb_workers,
+            batch_days=batch_days,
+            alloc_cache=alloc_cache,
         )
     )

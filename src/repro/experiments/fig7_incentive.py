@@ -15,7 +15,7 @@ weak incentive-compatibility picture.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 import numpy as np
 
@@ -25,6 +25,9 @@ from ..core.types import HouseholdType, Neighborhood, Preference
 from ..sim.profiles import ProfileGenerator
 from ..sim.results import format_table
 from ..theory.bestresponse import BestResponseResult, best_response_sweep
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..allocation.cache import AllocationCache
 
 #: The probed household's id.
 TARGET = "hh00"
@@ -87,13 +90,20 @@ def run(
     n_households: int = 50,
     repeats: int = 10,
     seed: Optional[int] = 2017,
+    alloc_cache: Optional["AllocationCache"] = None,
 ) -> Fig7Result:
-    """Regenerate Figure 7 from scratch."""
+    """Regenerate Figure 7 from scratch.
+
+    ``alloc_cache`` routes every candidate day's allocation through a
+    digest-keyed :class:`~repro.allocation.cache.AllocationCache`, so a
+    rerun of the sweep (same neighborhood, same seed) replays stored
+    allocations byte-identically instead of re-solving.
+    """
     neighborhood = build_neighborhood(n_households, seed)
     sweep = best_response_sweep(
         neighborhood,
         TARGET,
-        mechanism=EnkiMechanism(),
+        mechanism=EnkiMechanism(alloc_cache=alloc_cache),
         exploration=Interval(*TARGET_WIDE),
         repeats=repeats,
         seed=seed,

@@ -9,13 +9,16 @@ neighborhood cost and scheduling time.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from ..allocation.greedy import GreedyFlexibilityAllocator
 from ..allocation.optimal import BranchAndBoundAllocator
 from ..robustness.checkpoint import CheckpointStore
 from ..sim.engine import AllocatorDayRecord, SocialWelfareStudy
 from ..sim.metrics import SeriesPoint, summarize_records
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..allocation.cache import AllocationCache
 
 #: The paper's x-axis.
 PAPER_POPULATIONS: Tuple[int, ...] = (10, 20, 30, 40, 50)
@@ -52,6 +55,8 @@ def run_social_welfare_study(
     resume: bool = False,
     columnar: bool = False,
     bnb_workers: Optional[int] = 1,
+    batch_days: int = 1,
+    alloc_cache: Optional["AllocationCache"] = None,
 ) -> SocialWelfareResult:
     """Run the Figures 4-6 study once.
 
@@ -77,6 +82,13 @@ def run_social_welfare_study(
             fan-out (``1`` = serial, ``0`` = all cores). Completed runs
             stay bit-identical to serial; anytime runs may prove *more*
             days within the same wall budget.
+        batch_days: Columnar-only: fuse up to this many consecutive days
+            per worker task into batched array passes (bit-identical to
+            the per-day path).
+        alloc_cache: Columnar-only: a digest-keyed
+            :class:`~repro.allocation.cache.AllocationCache`; repeated
+            identical day instances replay stored allocations
+            byte-identically instead of re-solving.
     """
     checkpoint = (
         CheckpointStore(checkpoint_path, fresh=not resume)
@@ -93,7 +105,13 @@ def run_social_welfare_study(
         columnar=columnar,
     )
     records = study.sweep(
-        populations, days, seed, workers=workers, checkpoint=checkpoint
+        populations,
+        days,
+        seed,
+        workers=workers,
+        checkpoint=checkpoint,
+        batch_days=batch_days,
+        alloc_cache=alloc_cache,
     )
     return SocialWelfareResult(
         records=records,

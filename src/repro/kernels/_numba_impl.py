@@ -125,6 +125,106 @@ def place_twostep(
 
 
 @njit(cache=True)
+def place_quadratic_batch(
+    offsets, order, win_start, win_end, duration, rating, loads, prefix, starts_out
+):
+    """D stacked :func:`place_quadratic` sweeps; state resets between days.
+
+    ``order[offsets[d]:offsets[d + 1]]`` holds day ``d``'s rows (global
+    indices into the stacked columns) in processing order.  The inner
+    body is byte-for-byte :func:`place_quadratic`'s, so each day's output
+    is bit-identical to a separate per-day call.
+    """
+    hours = loads.shape[0]
+    for d in range(offsets.shape[0] - 1):
+        if d:
+            for h in range(hours):
+                loads[h] = 0.0
+            for j in range(hours + 1):
+                prefix[j] = 0.0
+        for at in range(offsets[d], offsets[d + 1]):
+            i = order[at]
+            a = win_start[i]
+            v = duration[i]
+            r = rating[i]
+            count = win_end[i] - a - v + 1
+            best = prefix[a + v] - prefix[a]
+            best_k = 0
+            for k in range(1, count):
+                value = prefix[a + k + v] - prefix[a + k]
+                if value < best:
+                    best = value
+                    best_k = k
+            s = a + best_k
+            starts_out[i] = s
+            for h in range(s, s + v):
+                loads[h] += r
+            for j in range(s + 1, hours + 1):
+                dd = j - s
+                if dd > v:
+                    dd = v
+                prefix[j] += r * dd
+
+
+@njit(cache=True)
+def place_twostep_batch(
+    offsets,
+    order,
+    win_start,
+    win_end,
+    duration,
+    rating,
+    threshold,
+    low_rate,
+    high_rate,
+    loads,
+    window_prefix,
+    starts_out,
+):
+    """D stacked :func:`place_twostep` sweeps; loads reset between days."""
+    hours = loads.shape[0]
+    for d in range(offsets.shape[0] - 1):
+        if d:
+            for h in range(hours):
+                loads[h] = 0.0
+        for at in range(offsets[d], offsets[d + 1]):
+            i = order[at]
+            a = win_start[i]
+            b = win_end[i]
+            v = duration[i]
+            r = rating[i]
+            width = b - a
+            window_prefix[0] = 0.0
+            for t in range(width):
+                load = loads[a + t]
+                base = load if load < threshold else threshold
+                excess = load - threshold
+                if excess < 0.0:
+                    excess = 0.0
+                bumped = load + r
+                base1 = bumped if bumped < threshold else threshold
+                excess1 = bumped - threshold
+                if excess1 < 0.0:
+                    excess1 = 0.0
+                hourly = (low_rate * base1 + high_rate * excess1) - (
+                    low_rate * base + high_rate * excess
+                )
+                window_prefix[t + 1] = window_prefix[t] + hourly
+            count = width - v + 1
+            best = window_prefix[v] - window_prefix[0]
+            best_k = 0
+            for k in range(1, count):
+                value = window_prefix[k + v] - window_prefix[k]
+                if value < best:
+                    best = value
+                    best_k = k
+            s = a + best_k
+            starts_out[i] = s
+            for h in range(s, s + v):
+                loads[h] += r
+
+
+@njit(cache=True)
 def bnb_children(
     loads, starts_idx, ends_idx, two_sigma_r, self_term, prefix, deltas, order
 ):
@@ -174,6 +274,32 @@ def warm() -> None:
         order, win_start, win_end, duration, rating, loads.copy(), prefix.copy(), starts
     )
     place_twostep(
+        order,
+        win_start,
+        win_end,
+        duration,
+        rating,
+        1.0,
+        1.0,
+        2.0,
+        loads.copy(),
+        prefix.copy(),
+        starts,
+    )
+    offsets = np.array([0, 1], dtype=np.intp)
+    place_quadratic_batch(
+        offsets,
+        order,
+        win_start,
+        win_end,
+        duration,
+        rating,
+        loads.copy(),
+        prefix.copy(),
+        starts,
+    )
+    place_twostep_batch(
+        offsets,
         order,
         win_start,
         win_end,

@@ -122,6 +122,76 @@ def place_day(
     return "python"
 
 
+def place_batch(
+    offsets: np.ndarray,
+    order: np.ndarray,
+    win_start: np.ndarray,
+    win_end: np.ndarray,
+    duration: np.ndarray,
+    rating: np.ndarray,
+    pricing: PricingModel,
+    starts_out: np.ndarray,
+    scratch: PlacementScratch = None,
+) -> str:
+    """Run D independent :func:`place_day` sweeps in one kernel call.
+
+    The columns are D days' instances stacked day-major; ``offsets`` is
+    the ``D + 1`` ragged boundary vector and
+    ``order[offsets[k]:offsets[k + 1]]`` lists day ``k``'s rows — as
+    *global* indices into the stacked columns — in that day's processing
+    order (the caller's day-major lexsort guarantees this).  Day state
+    (loads, prefix) resets between days; within a day the float sequence
+    is exactly :func:`place_day`'s, so ``starts_out`` is bit-identical to
+    D separate calls.  Returns the backend that ran.
+    """
+    if scratch is None:
+        scratch = PlacementScratch()
+    scratch.reset()
+    if active_backend() == "numba" and jit_ready():
+        impl = _load_impl()
+        if type(pricing) is QuadraticPricing:
+            impl.place_quadratic_batch(
+                offsets,
+                order,
+                win_start,
+                win_end,
+                duration,
+                rating,
+                scratch.loads,
+                scratch.prefix,
+                starts_out,
+            )
+            return "numba"
+        if type(pricing) is TwoStepPricing:
+            impl.place_twostep_batch(
+                offsets,
+                order,
+                win_start,
+                win_end,
+                duration,
+                rating,
+                pricing.threshold_kw,
+                pricing.low_rate,
+                pricing.high_rate,
+                scratch.loads,
+                scratch.window_prefix,
+                starts_out,
+            )
+            return "numba"
+    _place_python_batch(
+        offsets,
+        order,
+        win_start,
+        win_end,
+        duration,
+        rating,
+        pricing,
+        starts_out,
+        scratch,
+    )
+    return "python"
+
+
 def _place_python(
     order: np.ndarray,
     win_start: np.ndarray,
@@ -159,3 +229,53 @@ def _place_python(
         starts_out[i] = s
         loads[s:s + v] += r
         prefix[s + 1:] += r * _RAMPS[v][:HOURS_PER_DAY - s]
+
+
+def _place_python_batch(
+    offsets: np.ndarray,
+    order: np.ndarray,
+    win_start: np.ndarray,
+    win_end: np.ndarray,
+    duration: np.ndarray,
+    rating: np.ndarray,
+    pricing: PricingModel,
+    starts_out: np.ndarray,
+    scratch: PlacementScratch,
+) -> None:
+    """Reference batch sweep: the per-day inner body, columns lowered once.
+
+    ``.tolist()`` on the stacked columns happens a single time here —
+    delegating to :func:`_place_python` per day would redo the O(total)
+    lowering D times.
+    """
+    loads = scratch.loads
+    prefix = scratch.prefix
+    window_prefix = scratch.window_prefix
+    quadratic = isinstance(pricing, QuadraticPricing)
+    starts = win_start.tolist()
+    ends = win_end.tolist()
+    durations = duration.tolist()
+    ratings = rating.tolist()
+    bounds = offsets.tolist()
+    rows = order.tolist()
+    for k in range(len(bounds) - 1):
+        if k:
+            scratch.reset()
+        for i in rows[bounds[k]:bounds[k + 1]]:
+            a, v, r = starts[i], durations[i], ratings[i]
+            if quadratic:
+                count = ends[i] - a - v + 1
+                sums = prefix[a + v:a + v + count] - prefix[a:a + count]
+                s = a + int(np.argmin(sums))
+            else:
+                b = ends[i]
+                width = b - a
+                hourly = pricing.marginal_cost_batch(loads[a:b], r)
+                np.cumsum(hourly, out=window_prefix[1:width + 1])
+                deltas = (
+                    window_prefix[v:width + 1] - window_prefix[:width + 1 - v]
+                )
+                s = a + int(np.argmin(deltas))
+            starts_out[i] = s
+            loads[s:s + v] += r
+            prefix[s + 1:] += r * _RAMPS[v][:HOURS_PER_DAY - s]

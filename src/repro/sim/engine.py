@@ -32,7 +32,16 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import asdict, dataclass, fields as dataclass_fields
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -41,7 +50,11 @@ from ..allocation.base import (
     Allocator,
     ColumnarAllocationResult,
 )
-from ..core.columnar import ColumnarNeighborhood, ColumnarReports
+from ..core.columnar import (
+    ColumnarDayBatch,
+    ColumnarNeighborhood,
+    ColumnarReports,
+)
 from ..core.intervals import Interval
 from ..core.mechanism import (
     ColumnarDayOutcome,
@@ -69,6 +82,9 @@ from .profiles import ProfileGenerator, neighborhood_from_profiles
 from .rng import make_day_rngs, root_entropy, spawn_seed
 from .shm import SharedArena, SharedColumnarDay
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..allocation.cache import AllocationCache
+
 
 @dataclass(frozen=True)
 class AllocatorDayRecord:
@@ -76,6 +92,8 @@ class AllocatorDayRecord:
 
     ``served_tier`` is non-zero when a fallback chain degraded past its
     primary solver for this day (see :mod:`repro.robustness.fallback`).
+    ``cache_hit`` marks a day whose allocation was replayed from an
+    :class:`~repro.allocation.cache.AllocationCache` instead of solved.
     """
 
     day: int
@@ -87,6 +105,7 @@ class AllocatorDayRecord:
     proven_optimal: bool
     nodes_explored: int
     served_tier: int = 0
+    cache_hit: bool = False
 
 
 _RECORD_FIELDS = frozenset(f.name for f in dataclass_fields(AllocatorDayRecord))
@@ -157,6 +176,7 @@ def _run_study_day(
                 proven_optimal=result.proven_optimal,
                 nodes_explored=result.nodes_explored,
                 served_tier=result.served_tier,
+                cache_hit=result.cache_hit,
             )
         )
         if result.served_tier > 0:
@@ -224,6 +244,7 @@ def _run_study_day_columnar(
                 proven_optimal=result.proven_optimal,
                 nodes_explored=result.nodes_explored,
                 served_tier=result.served_tier,
+                cache_hit=result.cache_hit,
             )
         )
         if result.served_tier > 0:
@@ -235,6 +256,159 @@ def _run_study_day_columnar(
                 }
             )
     return records, quarantine_payloads, fallback_payloads
+
+
+def _plan_batches(
+    pending: Sequence[int],
+    batch_days: int,
+    chaos: Optional[ChaosInjector],
+) -> List[List[int]]:
+    """Chunk pending days into consecutive runs of at most ``batch_days``.
+
+    Chaos crash days always become singleton chunks: a crash must fail
+    (and retry, and be audited) at exactly the day granularity of the
+    per-day oracle, so failure attribution — ``chunk[0]`` — names the
+    crashing day and no sibling day's work rides on the doomed attempt.
+    """
+    crash = chaos.plan.crash_days if chaos is not None else frozenset()
+    chunks: List[List[int]] = []
+    current: List[int] = []
+    for day in pending:
+        if day in crash:
+            if current:
+                chunks.append(current)
+                current = []
+            chunks.append([day])
+            continue
+        if current and (len(current) >= batch_days or day != current[-1] + 1):
+            chunks.append(current)
+            current = []
+        current.append(day)
+    if current:
+        chunks.append(current)
+    return chunks
+
+
+def _run_study_batch(
+    task: Tuple["SocialWelfareStudy", int, List[int], int, Optional["AllocationCache"]],
+) -> List[StudyDayResult]:
+    """A chunk of Figures 4-6 columnar days as fused array passes.
+
+    The batched twin of per-day :func:`_run_study_day_columnar` calls:
+    every day still burns its own keyed substream (sampling draws and
+    tie-break seeds are untouched, so outputs are bit-identical to the
+    per-day path), but sampling shares one id tuple, screening runs as
+    one malformed-mask pass, and greedy allocators place the whole chunk
+    through one fused kernel sweep.  With an ``alloc_cache``, each day's
+    allocation routes through the cache instead (hits replay stored
+    results byte-identically; misses solve per day).
+    """
+    study, root, chunk, n_households, alloc_cache = task
+    day_rngs: List[random.Random] = []
+    np_rngs = []
+    for day in chunk:
+        if study.chaos is not None:
+            study.chaos.before_day(day)
+        py_rng, np_rng = make_day_rngs(root, day)
+        day_rngs.append(py_rng)
+        np_rngs.append(np_rng)
+    neighborhoods = [
+        cols.to_neighborhood(study.true_preference)
+        for cols in study.generator.sample_population_columnar_batch(
+            np_rngs, n_households
+        )
+    ]
+
+    quarantine_payloads: List[List[Dict]] = [[] for _ in chunk]
+    if study.quarantine is not None:
+        batch = ColumnarDayBatch.from_neighborhoods(neighborhoods)
+        screened_days = study.quarantine.screen_columnar_batch(
+            batch,
+            batch.true_start.astype(float),
+            batch.true_end.astype(float),
+            batch.duration.astype(float),
+        )
+        compiled_days = []
+        for k, screened in enumerate(screened_days):
+            quarantine_payloads[k] = [
+                decision.as_payload()
+                for decision in screened.decisions
+                if decision.action != "accepted"
+            ]
+            kept_neighborhood = neighborhoods[k].take(screened.kept)
+            compiled_days.append(
+                screened.accepted.compile(kept_neighborhood, study.pricing)
+            )
+    else:
+        compiled_days = [
+            ColumnarReports.truthful(neighborhood).compile(
+                neighborhood, study.pricing
+            )
+            for neighborhood in neighborhoods
+        ]
+
+    # Tie-break rngs are drawn in (day, allocator) order — exactly the
+    # per-day path's draw order on each day's keyed substream — and are
+    # drawn unconditionally, so cache hits never shift later draws.
+    rngs_by_allocator: List[List[random.Random]] = [[] for _ in study.allocators]
+    for py_rng in day_rngs:
+        for slot in rngs_by_allocator:
+            slot.append(random.Random(spawn_seed(py_rng)))
+
+    results_by_allocator: List[List[ColumnarAllocationResult]] = []
+    for allocator, rngs in zip(study.allocators, rngs_by_allocator):
+        if alloc_cache is not None:
+            results = [
+                alloc_cache.solve_columnar(allocator, compiled, study.pricing, rng)
+                for compiled, rng in zip(compiled_days, rngs)
+            ]
+        elif hasattr(allocator, "solve_columnar_batch"):
+            results = allocator.solve_columnar_batch(
+                compiled_days, study.pricing, rngs
+            )
+        else:
+            results = [
+                allocator.solve_columnar(compiled, study.pricing, rng)
+                for compiled, rng in zip(compiled_days, rngs)
+            ]
+        results_by_allocator.append(results)
+
+    out: List[StudyDayResult] = []
+    for k, day in enumerate(chunk):
+        compiled = compiled_days[k]
+        records: List[AllocatorDayRecord] = []
+        fallback_payloads: List[Dict] = []
+        for allocator, results in zip(study.allocators, results_by_allocator):
+            result = results[k]
+            profile = LoadProfile.from_arrays(
+                result.starts, result.starts + compiled.duration, compiled.rating
+            )
+            records.append(
+                AllocatorDayRecord(
+                    day=day,
+                    n_households=n_households,
+                    allocator=allocator.name,
+                    par=profile.peak_to_average_ratio(),
+                    cost=result.cost,
+                    wall_time_s=result.wall_time_s,
+                    proven_optimal=result.proven_optimal,
+                    nodes_explored=result.nodes_explored,
+                    served_tier=result.served_tier,
+                    cache_hit=result.cache_hit,
+                )
+            )
+            if result.served_tier > 0:
+                fallback_payloads.append(
+                    {
+                        "allocator": allocator.name,
+                        "served_tier": result.served_tier,
+                        "trail": [
+                            record.as_payload() for record in result.fallback_trail
+                        ],
+                    }
+                )
+        out.append((records, quarantine_payloads[k], fallback_payloads))
+    return out
 
 
 def _guard_checkpoint_meta(
@@ -322,6 +496,8 @@ class SocialWelfareStudy:
         audit: Optional[AuditLog] = None,
         timeout_s: Optional[float] = None,
         retries: int = DEFAULT_RETRIES,
+        batch_days: int = 1,
+        alloc_cache: Optional["AllocationCache"] = None,
     ) -> List[AllocatorDayRecord]:
         """Simulate ``days`` independent days with ``n_households`` each.
 
@@ -345,9 +521,26 @@ class SocialWelfareStudy:
             timeout_s: Per-round stall detector for the parallel runtime
                 (see :func:`repro.sim.parallel.map_tasks`).
             retries: Pool retry budget per failed day before inline rerun.
+            batch_days: Columnar-only: run up to this many consecutive
+                days per worker task as fused array passes
+                (:func:`_run_study_batch`).  ``1`` (default) keeps the
+                per-day oracle path; results are bit-identical either
+                way (modulo per-call wall times).
+            alloc_cache: Columnar-only: route every allocation through a
+                digest-keyed :class:`~repro.allocation.cache.
+                AllocationCache` — repeated instances replay stored
+                results byte-identically instead of re-solving.
         """
         if days < 1:
             raise ValueError(f"days must be >= 1, got {days}")
+        if batch_days < 1:
+            raise ValueError(f"batch_days must be >= 1, got {batch_days}")
+        if (batch_days > 1 or alloc_cache is not None) and not self.columnar:
+            raise ValueError(
+                "batch_days > 1 and alloc_cache require the columnar path "
+                "(construct the study with columnar=True)"
+            )
+        batched = self.columnar and (batch_days > 1 or alloc_cache is not None)
         root = root_entropy(seed)
         done: Dict[str, Dict[str, Any]] = {}
         if checkpoint is not None:
@@ -360,12 +553,16 @@ class SocialWelfareStudy:
         pending = [
             day for day in range(days) if day_key(day, checkpoint_prefix) not in done
         ]
-        tasks = [(self, root, day, n_households) for day in pending]
+        chunks = (
+            _plan_batches(pending, batch_days, self.chaos)
+            if batched
+            else [[day] for day in pending]
+        )
 
-        def _persist(index: int, value: StudyDayResult) -> None:
+        def _append_day(day: int, value: StudyDayResult) -> None:
             records, quarantined, fallbacks = value
             checkpoint.append(
-                day_key(pending[index], checkpoint_prefix),
+                day_key(day, checkpoint_prefix),
                 {
                     "records": [asdict(record) for record in records],
                     "quarantine": quarantined,
@@ -377,7 +574,7 @@ class SocialWelfareStudy:
             audit.append(
                 AuditEvent(
                     kind="worker_failure",
-                    day=pending[failure.index],
+                    day=chunks[failure.index][0],
                     payload={
                         "attempt": failure.attempt,
                         "cause": failure.cause,
@@ -386,16 +583,43 @@ class SocialWelfareStudy:
                 )
             )
 
-        per_day = map_tasks(
-            _run_study_day,
-            tasks,
-            workers,
-            timeout_s=timeout_s,
-            retries=retries,
-            on_result=_persist if checkpoint is not None else None,
-            on_failure=_log_failure if audit is not None else None,
-        )
-        computed = dict(zip(pending, per_day))
+        computed: Dict[int, StudyDayResult] = {}
+        if batched:
+            tasks_b = [
+                (self, root, chunk, n_households, alloc_cache) for chunk in chunks
+            ]
+
+            def _persist_batch(index: int, value: List[StudyDayResult]) -> None:
+                for day, day_result in zip(chunks[index], value):
+                    _append_day(day, day_result)
+
+            per_chunk = map_tasks(
+                _run_study_batch,
+                tasks_b,
+                workers,
+                timeout_s=timeout_s,
+                retries=retries,
+                on_result=_persist_batch if checkpoint is not None else None,
+                on_failure=_log_failure if audit is not None else None,
+            )
+            for chunk, chunk_results in zip(chunks, per_chunk):
+                computed.update(zip(chunk, chunk_results))
+        else:
+            tasks = [(self, root, day, n_households) for day in pending]
+
+            def _persist(index: int, value: StudyDayResult) -> None:
+                _append_day(pending[index], value)
+
+            per_day = map_tasks(
+                _run_study_day,
+                tasks,
+                workers,
+                timeout_s=timeout_s,
+                retries=retries,
+                on_result=_persist if checkpoint is not None else None,
+                on_failure=_log_failure if audit is not None else None,
+            )
+            computed = dict(zip(pending, per_day))
 
         out: List[AllocatorDayRecord] = []
         for day in range(days):
@@ -426,11 +650,14 @@ class SocialWelfareStudy:
         audit: Optional[AuditLog] = None,
         timeout_s: Optional[float] = None,
         retries: int = DEFAULT_RETRIES,
+        batch_days: int = 1,
+        alloc_cache: Optional["AllocationCache"] = None,
     ) -> List[AllocatorDayRecord]:
         """Run the study across population sizes (the Figures 4-6 x-axis).
 
         With a ``checkpoint``, each population size keeps its own key
         prefix in the shared store, so a killed sweep resumes mid-sweep.
+        ``batch_days``/``alloc_cache`` pass through to each :meth:`run`.
         """
         rng = random.Random(seed)
         records: List[AllocatorDayRecord] = []
@@ -446,6 +673,8 @@ class SocialWelfareStudy:
                     audit=audit,
                     timeout_s=timeout_s,
                     retries=retries,
+                    batch_days=batch_days,
+                    alloc_cache=alloc_cache,
                 )
             )
         return records
@@ -567,6 +796,31 @@ def _run_simulation_day_shm(
     return simulation.mechanism.run_day_columnar(
         day.neighborhood(), rng=random.Random(spawn_seed(rng))
     )
+
+
+def _run_simulation_batch(
+    task: Tuple["NeighborhoodSimulation", Any, int, List[int]],
+) -> List[ColumnarDayOutcome]:
+    """A chunk of columnar mechanism days through one fused batch run.
+
+    The batched twin of :func:`_run_simulation_day_columnar`: each day
+    still burns its own keyed substream (chaos firing and tie-break seed
+    draw order unchanged), then the whole chunk flows through
+    :meth:`~repro.core.mechanism.EnkiMechanism.run_days_columnar` — one
+    screen, one compile, one fused placement sweep.  The neighborhood
+    reference may be a :class:`~repro.sim.shm.SharedColumnarDay`
+    descriptor, reconstructed here as zero-copy views.
+    """
+    simulation, neighborhood, root, chunk = task
+    rngs: List[random.Random] = []
+    for day in chunk:
+        if simulation.chaos is not None:
+            simulation.chaos.before_day(day)
+        rng, _ = make_day_rngs(root, day)
+        rngs.append(random.Random(spawn_seed(rng)))
+    if isinstance(neighborhood, SharedColumnarDay):
+        neighborhood = neighborhood.neighborhood()
+    return simulation.mechanism.run_days_columnar(neighborhood, rngs)
 
 
 def _solve_day_shard(
@@ -725,6 +979,7 @@ class NeighborhoodSimulation:
         timeout_s: Optional[float] = None,
         retries: int = DEFAULT_RETRIES,
         transport: str = "auto",
+        batch_days: int = 1,
     ) -> List[DayOutcome]:
         """Simulate ``days`` settled days for a fixed neighborhood.
 
@@ -750,6 +1005,13 @@ class NeighborhoodSimulation:
                 fans out to workers.  Outcomes are bit-identical across
                 transports.  Non-columnar runs must leave this ``"auto"``
                 or ``"pickle"``.
+            batch_days: Columnar-only: run up to this many consecutive
+                days per worker task through the fused
+                :meth:`~repro.core.mechanism.EnkiMechanism.
+                run_days_columnar` batch (one screen, one compile, one
+                placement sweep).  ``1`` (default) keeps the per-day
+                path; outcomes are bit-identical either way (modulo
+                per-call wall times).
 
         On the columnar path (``columnar=True``), ``neighborhood`` may be
         either representation (an object :class:`Neighborhood` is lowered
@@ -760,6 +1022,13 @@ class NeighborhoodSimulation:
         """
         if days < 1:
             raise ValueError(f"days must be >= 1, got {days}")
+        if batch_days < 1:
+            raise ValueError(f"batch_days must be >= 1, got {batch_days}")
+        if batch_days > 1 and not self.columnar:
+            raise ValueError(
+                "batch_days > 1 requires the columnar path (construct the "
+                "simulation with columnar=True)"
+            )
         if transport not in ("auto", "pickle", "shm"):
             raise ValueError(
                 f"transport must be 'auto', 'pickle' or 'shm', got {transport!r}"
@@ -788,6 +1057,12 @@ class NeighborhoodSimulation:
         pending = [
             day for day in range(days) if day_key(day, checkpoint_prefix) not in done
         ]
+        batched = self.columnar and batch_days > 1
+        chunks = (
+            _plan_batches(pending, batch_days, self.chaos)
+            if batched
+            else [[day] for day in pending]
+        )
         day_fn: Callable = (
             _run_simulation_day_columnar if self.columnar else _run_simulation_day
         )
@@ -800,7 +1075,11 @@ class NeighborhoodSimulation:
             arena = SharedArena()
             day_ref = arena.pack_day(neighborhood)
             day_fn = _run_simulation_day_shm
-        tasks = [(self, day_ref, root, day) for day in pending]
+        if batched:
+            day_fn = _run_simulation_batch
+            tasks = [(self, day_ref, root, chunk) for chunk in chunks]
+        else:
+            tasks = [(self, day_ref, root, day) for day in pending]
 
         def _persist(index: int, outcome: DayOutcome) -> None:
             checkpoint.append(
@@ -812,7 +1091,7 @@ class NeighborhoodSimulation:
             audit.append(
                 AuditEvent(
                     kind="worker_failure",
-                    day=pending[failure.index],
+                    day=chunks[failure.index][0],
                     payload={
                         "attempt": failure.attempt,
                         "cause": failure.cause,
@@ -834,7 +1113,12 @@ class NeighborhoodSimulation:
         finally:
             if arena is not None:
                 arena.dispose()
-        computed = dict(zip(pending, computed_list))
+        if batched:
+            computed = {}
+            for chunk, chunk_outcomes in zip(chunks, computed_list):
+                computed.update(zip(chunk, chunk_outcomes))
+        else:
+            computed = dict(zip(pending, computed_list))
 
         outcomes: List[DayOutcome] = []
         for day in range(days):

@@ -258,6 +258,7 @@ class ProfileGenerator:
         rng: np.random.Generator,
         size: int,
         id_prefix: str = "hh",
+        ids: Optional[Tuple[str, ...]] = None,
     ) -> ColumnarProfiles:
         """Draw ``size`` profiles with batched array draws — the large-n path.
 
@@ -271,9 +272,15 @@ class ProfileGenerator:
         object path's population.  Equivalence between the two pipelines
         is established on *identical inputs* via the bridges, not at the
         sampler.
+
+        ``ids`` optionally supplies a pre-built id tuple (all days of a
+        fixed-n batch share one) — ids are deterministic in ``size``, so
+        this only skips the per-day f-string pass, never changes output.
         """
         if size < 1:
             raise ValueError(f"population size must be >= 1, got {size}")
+        if ids is not None and len(ids) != size:
+            raise ValueError(f"got {len(ids)} ids for population size {size}")
         cfg = self.config
         duration = rng.integers(
             cfg.min_duration, cfg.max_duration + 1, size=size
@@ -296,9 +303,11 @@ class ProfileGenerator:
             ).astype(np.intp)
 
         valuation = rng.uniform(cfg.min_valuation, cfg.max_valuation, size=size)
-        width = len(str(size - 1))
+        if ids is None:
+            width = len(str(size - 1))
+            ids = tuple(f"{id_prefix}{index:0{width}d}" for index in range(size))
         return ColumnarProfiles(
-            ids=tuple(f"{id_prefix}{index:0{width}d}" for index in range(size)),
+            ids=ids,
             narrow_start=narrow_begin,
             narrow_end=narrow_end,
             wide_start=wide_begin,
@@ -307,6 +316,31 @@ class ProfileGenerator:
             rating=np.full(size, cfg.rating_kw, dtype=np.float64),
             valuation=valuation,
         )
+
+    def sample_population_columnar_batch(
+        self,
+        rngs: Sequence[np.random.Generator],
+        size: int,
+        id_prefix: str = "hh",
+    ) -> List[ColumnarProfiles]:
+        """Draw one columnar population per generator in ``rngs``.
+
+        The batched front end of the multi-day engine: every day's keyed
+        substream is consumed up front, each through exactly the
+        field-by-field draw sequence of
+        :meth:`sample_population_columnar` — so day ``k``'s population is
+        bit-identical to a separate per-day call with ``rngs[k]``.  The
+        id tuple (a pure function of ``size``) is built once and shared
+        across all D days.
+        """
+        if size < 1:
+            raise ValueError(f"population size must be >= 1, got {size}")
+        width = len(str(size - 1))
+        ids = tuple(f"{id_prefix}{index:0{width}d}" for index in range(size))
+        return [
+            self.sample_population_columnar(rng, size, id_prefix, ids=ids)
+            for rng in rngs
+        ]
 
 
 def neighborhood_from_profiles(

@@ -107,3 +107,83 @@ class TestProfileFlag:
         monkeypatch.chdir(tmp_path)
         assert main(["list", "--profile"]) == 0
         assert (tmp_path / "list.pstats").exists()
+
+    def test_profile_batched_run_captures_batch_kernels(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        """Batched mode merges the batch-engine frames into the dump."""
+        monkeypatch.chdir(tmp_path)
+        code = main(
+            [
+                "fig4",
+                "--profile",
+                "--populations", "10",
+                "--days", "2",
+                "--time-limit", "2.0",
+                "--columnar",
+                "--batch-days", "2",
+            ]
+        )
+        assert code == 0
+        import pstats
+
+        stats = pstats.Stats(str(tmp_path / "fig4.pstats"))
+        frames = {func for (_, _, func) in stats.stats}
+        assert "_run_study_batch" in frames
+        assert "place_batch" in frames
+
+
+class TestBatchedFlags:
+    def test_batch_days_must_be_positive(self, capsys):
+        code = main(
+            ["simulate", "--n", "5", "--days", "1", "--columnar",
+             "--batch-days", "0"]
+        )
+        assert code == 2
+        assert ">= 1" in capsys.readouterr().err
+
+    def test_batch_days_requires_columnar(self, capsys):
+        code = main(
+            ["simulate", "--n", "5", "--days", "2", "--batch-days", "2"]
+        )
+        assert code == 2
+        assert "--columnar" in capsys.readouterr().err
+
+    def test_alloc_cache_requires_columnar_for_sweeps(self, capsys):
+        code = main(
+            ["fig5", "--populations", "5", "--days", "1", "--alloc-cache"]
+        )
+        assert code == 2
+        assert "--columnar" in capsys.readouterr().err
+
+    def test_simulate_batched_runs(self, capsys):
+        code = main(
+            ["simulate", "--n", "12", "--days", "3", "--columnar",
+             "--batch-days", "3"]
+        )
+        assert code == 0
+        assert "defectors" in capsys.readouterr().out
+
+    def test_fig4_batched_with_memory_cache(self, capsys):
+        code = main(
+            [
+                "fig4",
+                "--populations", "8",
+                "--days", "2",
+                "--time-limit", "2.0",
+                "--columnar",
+                "--batch-days", "2",
+                "--alloc-cache",
+            ]
+        )
+        assert code == 0
+        assert "Enki PAR" in capsys.readouterr().out
+
+    def test_fig7_with_disk_cache(self, capsys, tmp_path):
+        store = tmp_path / "cache"
+        code = main(
+            ["fig7", "--repeats", "1", "--seed", "4",
+             "--alloc-cache", str(store)]
+        )
+        assert code == 0
+        assert store.exists()
